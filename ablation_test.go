@@ -1,0 +1,206 @@
+package vizq_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"vizq/internal/cache"
+	"vizq/internal/connection"
+	"vizq/internal/core"
+	"vizq/internal/query"
+	"vizq/internal/remote"
+	"vizq/internal/tde/engine"
+	"vizq/internal/tde/exec"
+	"vizq/internal/tde/opt"
+	"vizq/internal/tde/storage"
+	"vizq/internal/workload"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// toggles exactly one mechanism so `go test -bench=Ablation` quantifies its
+// contribution.
+
+func startAblationBackend(b *testing.B) *remote.Server {
+	db, err := workload.BuildFlightsDB(workload.FlightsConfig{Rows: 30_000, Days: 180, Seed: 61})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := remote.NewServer(engine.New(db), remote.Config{Latency: 2 * time.Millisecond})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// BenchmarkAblationReuseAdjustment measures Sect. 3.2's "adjust queries
+// before sending" rewrite: with it, an AVG drill-down sequence hits the
+// cache; without it, every roll-up goes remote.
+func BenchmarkAblationReuseAdjustment(b *testing.B) {
+	srv := startAblationBackend(b)
+	fine := &query.Query{
+		View:     query.View{Table: "flights"},
+		Dims:     []query.Dim{{Col: "carrier"}, {Col: "origin"}},
+		Measures: []query.Measure{{Fn: query.Avg, Col: "delay", As: "a"}},
+	}
+	coarse := fine.Clone()
+	coarse.Dims = []query.Dim{{Col: "carrier"}}
+	coarser := fine.Clone()
+	coarser.Dims = nil
+	coarser.Measures = []query.Measure{{Fn: query.Avg, Col: "delay", As: "a"}}
+	coarser.Dims = []query.Dim{{Col: "origin"}}
+
+	for _, disabled := range []bool{false, true} {
+		name := "adjusted"
+		if disabled {
+			name = "unadjusted"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pool := connection.NewPool(srv.Addr(), connection.PoolConfig{Max: 2})
+				opt := core.DefaultOptions()
+				opt.DisableReuseAdjustment = disabled
+				proc := core.NewProcessor(pool, nil, nil, opt)
+				for _, q := range []*query.Query{fine, coarse, coarser} {
+					if _, err := proc.Execute(context.Background(), q.Clone()); err != nil {
+						b.Fatal(err)
+					}
+				}
+				pool.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBestMatch compares first-match (shipped) with
+// least-post-processing candidate selection when the bucket holds both a
+// huge and a tiny subsuming entry.
+func BenchmarkAblationBestMatch(b *testing.B) {
+	db, err := workload.BuildFlightsDB(workload.FlightsConfig{Rows: 150_000, Days: 365, Seed: 62})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := engine.New(db)
+	broad := &query.Query{
+		View:     query.View{Table: "flights"},
+		Dims:     []query.Dim{{Col: "market"}, {Col: "carrier"}, {Col: "hour"}},
+		Measures: []query.Measure{{Fn: query.Count, As: "n"}},
+	}
+	narrow := broad.Clone()
+	narrow.Dims = []query.Dim{{Col: "carrier"}, {Col: "hour"}}
+	req := broad.Clone()
+	req.Dims = []query.Dim{{Col: "carrier"}}
+
+	ctx := context.Background()
+	broadRes, err := e.Query(ctx, broad.ToTQL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	narrowRes, err := e.Query(ctx, narrow.ToTQL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, best := range []bool{false, true} {
+		name := "first-match"
+		if best {
+			name = "best-match"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := cache.DefaultOptions()
+			opts.BestMatch = best
+			c := cache.NewIntelligentCache(opts)
+			c.Put(broad, broadRes, time.Millisecond) // big entry inserted first
+			c.Put(narrow, narrowRes, time.Millisecond)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := c.Get(req); !ok {
+					b.Fatal("miss")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOrderPreservingExchange compares the shipped plan (plain
+// exchange + serial sort) against per-fraction sorts with a merging
+// exchange, under simulated scan I/O.
+func BenchmarkAblationOrderPreservingExchange(b *testing.B) {
+	db, err := workload.BuildFlightsDB(workload.FlightsConfig{Rows: 150_000, Days: 365, Seed: 63})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := engine.New(db)
+	src := `(order (select (table flights) (> distance 500)) (asc market))`
+	ctx := exec.WithConfig(context.Background(), exec.Config{ScanBatchDelay: 50 * time.Microsecond})
+	for _, merge := range []bool{false, true} {
+		name := "serial-sort-above-exchange"
+		if merge {
+			name = "merging-exchange"
+		}
+		b.Run(name, func(b *testing.B) {
+			o := opt.DefaultOptions()
+			o.GrainWork = 1 << 14
+			o.EnableOrderPreservingExchange = merge
+			e.SetOptions(o)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Query(ctx, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDictionaryCompression measures the dictionary's effect on
+// string filters: the same data with and without dictionary compression.
+func BenchmarkAblationDictionaryCompression(b *testing.B) {
+	n := 200_000
+	vals := make([]storage.Value, n)
+	codes := workload.CarrierCodes(0)
+	for i := range vals {
+		vals[i] = storage.StrValue(codes[i%len(codes)])
+	}
+	amounts := make([]storage.Value, n)
+	for i := range amounts {
+		amounts[i] = storage.IntValue(int64(i % 1000))
+	}
+	for _, noDict := range []bool{false, true} {
+		name := "dictionary"
+		if noDict {
+			name = "plain-strings"
+		}
+		b.Run(name, func(b *testing.B) {
+			col, err := storage.BuildColumn("carrier", storage.TStr, storage.CollBinary, vals,
+				storage.BuildOptions{NoDictionary: noDict, HasForce: noDict, ForceEncoding: storage.EncPlain})
+			if err != nil {
+				b.Fatal(err)
+			}
+			amt, err := storage.BuildColumn("amount", storage.TInt, storage.CollBinary, amounts, storage.BuildOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tbl, err := storage.NewTable("Extract", fmt.Sprintf("t%v", noDict), []*storage.Column{col, amt})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dbn := storage.NewDatabase("abl")
+			if err := dbn.AddTable(tbl); err != nil {
+				b.Fatal(err)
+			}
+			eng := engine.New(dbn)
+			o := opt.DefaultOptions()
+			o.MaxDOP = 1
+			eng.SetOptions(o)
+			q := fmt.Sprintf(`(aggregate (select (table t%v) (= carrier "WN")) (groupby) (aggs (n count *) (s sum amount)))`, noDict)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Query(context.Background(), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,49 @@
+// benchrunner regenerates every experiment in EXPERIMENTS.md: one table per
+// performance claim in the paper (see DESIGN.md for the index).
+//
+// Usage:
+//
+//	benchrunner [-scale test|full] [-only E1,E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"vizq/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "full", "experiment scale: test or full")
+	onlyFlag := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	scale := experiments.FullScale()
+	if *scaleFlag == "test" {
+		scale = experiments.TestScale()
+	}
+	only := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, id := range strings.Split(*onlyFlag, ",") {
+			only[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	start := time.Now()
+	for _, r := range experiments.All() {
+		if len(only) > 0 && !only[r.ID] {
+			continue
+		}
+		fmt.Printf("running %s (%s)...\n", r.ID, r.Name)
+		t0 := time.Now()
+		table, err := r.Run(scale)
+		if err != nil {
+			log.Fatalf("%s: %v", r.ID, err)
+		}
+		fmt.Printf("\n%s(took %v)\n\n", table, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("all experiments done in %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,65 @@
+// extract builds a single-file TDE database from a delimited text file
+// (Sect. 4.4's shadow-extract path as a standalone tool).
+//
+// Usage:
+//
+//	extract -in data.csv -out data.tde [-table sales] [-schema data.schema] [-delim ',']
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vizq/internal/extract"
+	"vizq/internal/tde/storage"
+)
+
+func main() {
+	in := flag.String("in", "", "input delimited text file")
+	out := flag.String("out", "", "output .tde file")
+	table := flag.String("table", "data", "table name inside the extract")
+	schemaPath := flag.String("schema", "", "optional schema file (name:type[:collation] lines)")
+	delim := flag.String("delim", ",", "field delimiter")
+	flag.Parse()
+
+	if *in == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt := extract.ParseOptions{}
+	if len(*delim) == 1 {
+		opt.Delimiter = (*delim)[0]
+	} else {
+		log.Fatal("extract: delimiter must be a single byte")
+	}
+	if *schemaPath != "" {
+		s, err := extract.LoadSchemaFile(*schemaPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Schema = s
+	}
+
+	db, err := extract.CreateExtract(*in, *table, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := storage.SaveDatabase(db, *out); err != nil {
+		log.Fatal(err)
+	}
+	tbl, err := db.Table("Extract", *table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := os.Stat(*out)
+	fmt.Printf("extracted %d rows into %s (%d KiB)\n", tbl.Rows, *out, fi.Size()/1024)
+	for _, c := range tbl.Cols {
+		dict := ""
+		if c.Dict != nil {
+			dict = fmt.Sprintf(" dict(%d)", c.Dict.Len())
+		}
+		fmt.Printf("  %-20s %-9s %s%s\n", c.Name, c.Type, c.Encoding(), dict)
+	}
+}

@@ -1,0 +1,117 @@
+// loadsim simulates Tableau-Server-style multi-user dashboard traffic
+// (Sect. 3.2: shared dashboards make caching effective across users; Tableau
+// Public traffic "is saturated by initial load requests"). It replays N user
+// sessions against the Fig. 2 dashboard through the full pipeline and
+// reports latency percentiles, backend load and cache effectiveness, with
+// and without caching.
+//
+// Usage:
+//
+//	loadsim [-users 20] [-interactions 3] [-latency 5ms] [-rows 100000]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"time"
+
+	"vizq/internal/connection"
+	"vizq/internal/core"
+	"vizq/internal/remote"
+	"vizq/internal/tde/engine"
+	"vizq/internal/vizql"
+	"vizq/internal/workload"
+)
+
+func main() {
+	users := flag.Int("users", 20, "number of user sessions")
+	interactions := flag.Int("interactions", 3, "interactions per user after the initial load")
+	latency := flag.Duration("latency", 5*time.Millisecond, "remote request latency")
+	rows := flag.Int("rows", 100_000, "backend fact rows")
+	seed := flag.Int64("seed", 1, "interaction randomness seed")
+	flag.Parse()
+
+	db, err := workload.BuildFlightsDB(workload.FlightsConfig{Rows: *rows, Days: 365, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := remote.NewServer(engine.New(db), remote.Config{Latency: *latency, QueryDOP: 2})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, cached := range []bool{false, true} {
+		mode := "caching OFF"
+		opt := core.Options{DisableIntelligentCache: true, DisableLiteralCache: true}
+		if cached {
+			mode = "caching ON "
+			opt = core.DefaultOptions()
+		}
+		pool := connection.NewPool(srv.Addr(), connection.PoolConfig{Max: 8})
+		proc := core.NewProcessor(pool, nil, nil, opt)
+		backendBefore := srv.Stats().Queries
+
+		rng := rand.New(rand.NewSource(*seed))
+		var loadTimes, interactTimes []time.Duration
+		start := time.Now()
+		for u := 0; u < *users; u++ {
+			sess, err := vizql.NewSession(vizql.FlightsDashboard("flights"), proc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t0 := time.Now()
+			if _, err := sess.Render(context.Background()); err != nil {
+				log.Fatal(err)
+			}
+			loadTimes = append(loadTimes, time.Since(t0))
+
+			for i := 0; i < *interactions; i++ {
+				markets := sess.Result("Market")
+				if markets == nil || markets.N == 0 {
+					break
+				}
+				// Users mostly click popular values (top rows), echoing each
+				// other's interactions — that is what makes shared caches pay.
+				pick := rng.Intn(5)
+				if pick >= markets.N {
+					pick = markets.N - 1
+				}
+				if err := sess.Select("Market", markets.Value(pick, 0)); err != nil {
+					log.Fatal(err)
+				}
+				t0 = time.Now()
+				if _, err := sess.Render(context.Background()); err != nil {
+					log.Fatal(err)
+				}
+				interactTimes = append(interactTimes, time.Since(t0))
+			}
+		}
+		wall := time.Since(start)
+		backend := srv.Stats().Queries - backendBefore
+		st := proc.Stats()
+		fmt.Printf("%s  users=%d interactions=%d\n", mode, *users, *interactions)
+		fmt.Printf("  initial load  p50=%v p95=%v\n", pct(loadTimes, 50), pct(loadTimes, 95))
+		fmt.Printf("  interaction   p50=%v p95=%v\n", pct(interactTimes, 50), pct(interactTimes, 95))
+		fmt.Printf("  wall=%v backendQueries=%d cacheHits=%d localAnswers=%d fused=%d\n\n",
+			wall.Round(time.Millisecond), backend, st.CacheHits, st.LocalAnswers, st.FusedAway)
+		pool.Close()
+	}
+}
+
+func pct(ds []time.Duration, p int) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := len(s) * p / 100
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i].Round(100 * time.Microsecond)
+}

@@ -1,0 +1,12 @@
+// Package vizq is a from-scratch reproduction of the systems described in
+// "On Improving User Response Times in Tableau" (SIGMOD 2015): the Tableau
+// Data Engine (a read-optimized column store with a TQL compiler, rule-based
+// optimizer and parallel Volcano executor), the dashboard query-processing
+// pipeline (batch optimization, query fusion, two-level caching, pooled
+// concurrent connections), shadow extracts for text files, and the Data
+// Server (published data sources, shared calculations, user filters and
+// temporary table management).
+//
+// See DESIGN.md for the system inventory and the experiment index, and
+// EXPERIMENTS.md for the measured reproduction of every performance claim.
+package vizq

@@ -1,0 +1,132 @@
+// Data Server example (Sect. 5): publish a data source with shared
+// calculations and row-level user filters, connect several clients, and use
+// in-memory temporary tables for a large categorical filter. The second
+// client's identical query is served from the shared pipeline cache without
+// touching the database.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"vizq/internal/core"
+	"vizq/internal/dataserver"
+	"vizq/internal/query"
+	"vizq/internal/remote"
+	"vizq/internal/tde/engine"
+	"vizq/internal/tde/storage"
+	"vizq/internal/workload"
+)
+
+func main() {
+	db, err := workload.BuildFlightsDB(workload.FlightsConfig{Rows: 120_000, Days: 365, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	backend := remote.NewServer(engine.New(db), remote.Config{})
+	if err := backend.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer backend.Close()
+
+	ds := dataserver.NewServer(dataserver.Config{PipelineOptions: core.DefaultOptions()})
+	err = ds.Publish(&dataserver.PublishedSource{
+		Name:    "FAA Flights",
+		Backend: backend.Addr(),
+		View:    query.View{Table: "flights"},
+		Calculations: map[string]string{
+			// Defined once on the server, usable by every workbook.
+			"Weekday":  "(weekday date)",
+			"LongHaul": "(if (> distance 1500) \"long\" \"short\")",
+		},
+		UserFilters: map[string][]query.Filter{
+			"west_analyst": {query.InFilter("origin",
+				storage.StrValue("LAX"), storage.StrValue("SFO"), storage.StrValue("SEA"))},
+		},
+		BackendSupportsTempTables: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Client 1: a manager sees everything; uses the shared calculation.
+	mgr, md, err := ds.Connect("FAA Flights", "manager")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mgr.Close()
+	fmt.Printf("connected to %q (table %s, temp tables: %v, calcs: %v)\n\n",
+		md.Source, md.Table, md.SupportsTempTables, md.Calculations)
+
+	res, err := mgr.Query(ctx, &query.Query{
+		Dims:     []query.Dim{{Col: "LongHaul"}},
+		Measures: []query.Measure{{Fn: query.Count, As: "flights"}, {Fn: query.Avg, Col: "delay", As: "avgdelay"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== manager: flights by LongHaul (shared calculation) ==\n%s\n", res)
+
+	// Client 2: a regional analyst is row-filtered server-side.
+	analyst, _, err := ds.Connect("FAA Flights", "west_analyst")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer analyst.Close()
+	res, err = analyst.Query(ctx, &query.Query{
+		Dims:     []query.Dim{{Col: "origin"}},
+		Measures: []query.Measure{{Fn: query.Count, As: "flights"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== west_analyst: origins visible through the user filter ==\n%s\n", res)
+
+	// Temporary tables: the manager pins a carrier list once and reuses it.
+	carriers := []storage.Value{
+		storage.StrValue("WN"), storage.StrValue("AA"), storage.StrValue("DL"), storage.StrValue("UA"),
+	}
+	if err := mgr.CreateTempTable("majors", "carrier", carriers); err != nil {
+		log.Fatal(err)
+	}
+	// The temp table itself answers without the database.
+	before := backend.Stats().Queries
+	domain, err := mgr.Query(ctx, &query.Query{
+		View: query.View{Table: "majors"},
+		Dims: []query.Dim{{Col: "carrier"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== temp table domain (answered in memory, backend queries unchanged: %v) ==\n%s\n",
+		backend.Stats().Queries == before, domain)
+
+	res, err = mgr.Query(ctx, &query.Query{
+		Dims:     []query.Dim{{Col: "carrier"}},
+		Measures: []query.Measure{{Fn: query.Count, As: "flights"}},
+		Filters:  []query.Filter{query.TempFilter("carrier", "majors")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== flights for the pinned carrier list ==\n%s\n", res)
+
+	// Cross-client caching: repeat the manager's first query as the analyst
+	// of a different session; the backend sees no new query.
+	mgr2, _, err := ds.Connect("FAA Flights", "manager2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mgr2.Close()
+	before = backend.Stats().Queries
+	if _, err = mgr2.Query(ctx, &query.Query{
+		Dims:     []query.Dim{{Col: "LongHaul"}},
+		Measures: []query.Measure{{Fn: query.Count, As: "flights"}, {Fn: query.Avg, Col: "delay", As: "avgdelay"}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cross-client cache hit (no new backend queries): %v\n", backend.Stats().Queries == before)
+	fmt.Printf("data server stats: %+v\n", ds.Stats())
+}

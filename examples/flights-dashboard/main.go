@@ -1,0 +1,99 @@
+// Flights dashboard: the paper's Fig. 2 scenario end to end. A dashboard
+// with Market, Carrier and Airline Name zones linked by interactive filter
+// actions renders against a simulated remote database through the full
+// pipeline — batch optimization, query fusion, two-level caching and
+// concurrent connections. The session walks through the exact HNL-OGG
+// selection-elimination interaction the paper describes.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"vizq/internal/connection"
+	"vizq/internal/core"
+	"vizq/internal/remote"
+	"vizq/internal/tde/engine"
+	"vizq/internal/tde/storage"
+	"vizq/internal/vizql"
+	"vizq/internal/workload"
+)
+
+func main() {
+	// A remote "warehouse" with 2ms request latency.
+	db, err := workload.BuildFlightsDB(workload.FlightsConfig{Rows: 150_000, Days: 365, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := remote.NewServer(engine.New(db), remote.Config{Latency: 2 * time.Millisecond, QueryDOP: 2})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	pool := connection.NewPool(srv.Addr(), connection.PoolConfig{Max: 4})
+	defer pool.Close()
+	proc := core.NewProcessor(pool, nil, nil, core.DefaultOptions())
+
+	sess, err := vizql.NewSession(vizql.FlightsDashboard("flights"), proc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	show := func(step string, rep *vizql.RenderReport) {
+		fmt.Printf("--- %s ---\n", step)
+		fmt.Printf("iterations=%d batches=%v elapsed=%v invalidated=%v\n",
+			rep.Iterations, rep.BatchSizes, rep.Elapsed.Round(time.Millisecond), rep.Invalidated)
+		st := proc.Stats()
+		fmt.Printf("pipeline: remote=%d cacheHits=%d local=%d fused=%d\n",
+			st.RemoteQueries, st.CacheHits, st.LocalAnswers, st.FusedAway)
+		carrier := sess.Result("Carrier")
+		fmt.Println("Carrier zone (top 5 by flights):")
+		fmt.Println(carrier)
+	}
+
+	rep, err := sess.Render(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("initial load", rep)
+
+	// Select a market, as in Fig. 2 (LAX-SFO).
+	if err := sess.Select("Market", storage.StrValue("LAX-SFO")); err != nil {
+		log.Fatal(err)
+	}
+	rep, err = sess.Render(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(`select Market = "LAX-SFO"`, rep)
+
+	// Select a carrier serving that market.
+	carrier := sess.Result("Carrier").Value(0, 0)
+	if err := sess.Select("Carrier", carrier); err != nil {
+		log.Fatal(err)
+	}
+	rep, err = sess.Render(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(fmt.Sprintf("select Carrier = %q", carrier.S), rep)
+
+	// Switch to HNL-OGG: if the selected carrier does not fly it, the
+	// selection is eliminated and the Airline Name zone requeries without
+	// the carrier filter — a second batch iteration.
+	if err := sess.Select("Market", storage.StrValue("HNL-OGG")); err != nil {
+		log.Fatal(err)
+	}
+	rep, err = sess.Render(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(`select Market = "HNL-OGG" (may invalidate the carrier selection)`, rep)
+
+	fmt.Println("Airline Name zone after the interaction:")
+	fmt.Println(sess.Result("Airline Name"))
+}

@@ -1,0 +1,3 @@
+module vizq
+
+go 1.22

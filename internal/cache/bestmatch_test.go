@@ -1,0 +1,52 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"vizq/internal/query"
+)
+
+func TestBestMatchPicksCheapestEntry(t *testing.T) {
+	// Two stored entries both subsume the request; the fine-grained one has
+	// far more rows. Best-match must pick the small one.
+	broad := baseQuery() // carrier x origin
+	broadRes := run(t, broad)
+	narrow := broad.Clone()
+	narrow.Dims = []query.Dim{{Col: "carrier"}}
+	narrowRes := run(t, narrow)
+	if narrowRes.N >= broadRes.N {
+		t.Fatalf("fixture: narrow (%d) should have fewer rows than broad (%d)", narrowRes.N, broadRes.N)
+	}
+
+	req := narrow.Clone() // identical to the narrow entry -> zero post-processing
+
+	opts := DefaultOptions()
+	opts.BestMatch = true
+	best := NewIntelligentCache(opts)
+	// Insert the broad (expensive to post-process) entry FIRST so a
+	// first-match policy would pick it.
+	best.Put(broad, broadRes, 10*time.Millisecond)
+	best.Put(narrow, narrowRes, 10*time.Millisecond)
+
+	// Delete the exact-key entry to force the subsumption path.
+	reqVariant := req.Clone()
+	reqVariant.Measures = []query.Measure{{Fn: query.Count, As: "n"}}
+	got, ok := best.Get(reqVariant)
+	if !ok {
+		t.Fatal("best-match should hit")
+	}
+	want := run(t, reqVariant)
+	sameResult(t, got, want)
+
+	// First-match behaves the same semantically but may use the broad entry;
+	// verify both give correct answers.
+	fm := NewIntelligentCache(DefaultOptions())
+	fm.Put(broad, broadRes, 10*time.Millisecond)
+	fm.Put(narrow, narrowRes, 10*time.Millisecond)
+	got2, ok := fm.Get(reqVariant.Clone())
+	if !ok {
+		t.Fatal("first-match should hit")
+	}
+	sameResult(t, got2, want)
+}

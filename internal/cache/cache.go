@@ -1,0 +1,315 @@
+// Package cache implements Tableau's two levels of query caching
+// (Sect. 3.2): the literal cache, keyed on final query text, and the
+// intelligent cache, a semantic view-matching component that answers a new
+// query from a stored result when the stored query provably subsumes it,
+// applying local post-processing (roll-up, filtering, projection). It also
+// provides persistence (Desktop) and a distributed layer over a networked
+// key-value store (Server).
+package cache
+
+import (
+	"sync"
+	"time"
+
+	"vizq/internal/query"
+	"vizq/internal/tde/exec"
+)
+
+// Entry is one cached query result with the bookkeeping eviction needs:
+// "entries ... are purged based upon a combination of entry age, usage, and
+// the expense of re-evaluating the query."
+type Entry struct {
+	Query    *query.Query // nil for literal entries
+	Text     string       // literal cache key
+	Result   *exec.Result
+	Cost     time.Duration // time the query took to compute
+	Created  time.Time
+	LastUsed time.Time
+	Uses     int64
+}
+
+func (e *Entry) sizeBytes() int64 { return e.Result.SizeBytes() + 256 }
+
+// score values an entry for retention: cheap-to-recompute, old, rarely-used
+// entries go first.
+func (e *Entry) score(now time.Time) float64 {
+	age := now.Sub(e.LastUsed).Seconds() + 1
+	return float64(e.Cost.Microseconds()+1) * float64(e.Uses+1) / age
+}
+
+// Stats counts cache outcomes.
+type Stats struct {
+	ExactHits   int64
+	DerivedHits int64
+	Misses      int64
+	Evictions   int64
+}
+
+// Options bounds a cache.
+type Options struct {
+	MaxEntries int
+	MaxBytes   int64
+	// MaxResultBytes rejects oversized results at admission ("we cache all
+	// the query results unless ... the results are excessively large").
+	MaxResultBytes int64
+	// BestMatch makes the intelligent cache score all subsuming candidates
+	// and pick the one needing the least post-processing, instead of
+	// accepting the first match. The paper ships first-match and names
+	// best-match as the planned improvement (Sect. 3.2).
+	BestMatch bool
+}
+
+// DefaultOptions sizes caches for a desktop session.
+func DefaultOptions() Options {
+	return Options{MaxEntries: 4096, MaxBytes: 256 << 20, MaxResultBytes: 32 << 20}
+}
+
+// LiteralCache maps low-level query text to results: it catches internal
+// queries "that end up having the same textual representation but where a
+// match could not be proven upfront".
+type LiteralCache struct {
+	mu       sync.Mutex
+	opt      Options
+	entries  map[string]*Entry
+	curBytes int64
+	stats    Stats
+	clock    func() time.Time
+}
+
+// NewLiteralCache creates a literal cache.
+func NewLiteralCache(opt Options) *LiteralCache {
+	return &LiteralCache{opt: opt, entries: make(map[string]*Entry), clock: time.Now}
+}
+
+// Get looks up a query text.
+func (c *LiteralCache) Get(text string) (*exec.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[text]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	e.Uses++
+	e.LastUsed = c.clock()
+	c.stats.ExactHits++
+	return e.Result, true
+}
+
+// Put stores a result under its text.
+func (c *LiteralCache) Put(text string, res *exec.Result, cost time.Duration) {
+	if c.opt.MaxResultBytes > 0 && res.SizeBytes() > c.opt.MaxResultBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock()
+	if old, ok := c.entries[text]; ok {
+		c.curBytes -= old.sizeBytes()
+	}
+	e := &Entry{Text: text, Result: res, Cost: cost, Created: now, LastUsed: now}
+	c.entries[text] = e
+	c.curBytes += e.sizeBytes()
+	c.evictLocked()
+}
+
+// Clear empties the cache (connection closed or refreshed).
+func (c *LiteralCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*Entry)
+	c.curBytes = 0
+}
+
+// Len returns the number of entries.
+func (c *LiteralCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns counters.
+func (c *LiteralCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *LiteralCache) evictLocked() {
+	now := c.clock()
+	for (c.opt.MaxEntries > 0 && len(c.entries) > c.opt.MaxEntries) ||
+		(c.opt.MaxBytes > 0 && c.curBytes > c.opt.MaxBytes) {
+		var worst *Entry
+		var worstKey string
+		for k, e := range c.entries {
+			if worst == nil || e.score(now) < worst.score(now) {
+				worst, worstKey = e, k
+			}
+		}
+		if worst == nil {
+			return
+		}
+		delete(c.entries, worstKey)
+		c.curBytes -= worst.sizeBytes()
+		c.stats.Evictions++
+	}
+}
+
+// IntelligentCache maps internal query structure to results and matches new
+// queries by subsumption, post-processing stored results locally.
+type IntelligentCache struct {
+	mu       sync.Mutex
+	opt      Options
+	byKey    map[string]*Entry
+	buckets  map[string][]*Entry // GroupKey -> candidates in insertion order
+	curBytes int64
+	stats    Stats
+	clock    func() time.Time
+}
+
+// NewIntelligentCache creates an intelligent cache.
+func NewIntelligentCache(opt Options) *IntelligentCache {
+	return &IntelligentCache{
+		opt:     opt,
+		byKey:   make(map[string]*Entry),
+		buckets: make(map[string][]*Entry),
+		clock:   time.Now,
+	}
+}
+
+// Get answers q from the cache: an exact structural match first, otherwise
+// the first stored candidate that provably subsumes q, with roll-up,
+// residual filtering and projection applied locally ("while currently we
+// accept the first match...").
+func (c *IntelligentCache) Get(q *query.Query) (*exec.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock()
+	if e, ok := c.byKey[q.Key()]; ok {
+		e.Uses++
+		e.LastUsed = now
+		c.stats.ExactHits++
+		// Exact key match may still need projection/ordering when the
+		// stored query was adjusted; Derive handles identity cheaply.
+		if res, ok := Derive(e.Query, e.Result, q); ok {
+			return res, true
+		}
+	}
+	if c.opt.BestMatch {
+		// Least-post-processing selection: the dominant local cost is the
+		// number of stored rows to filter and re-group.
+		var best *Entry
+		for _, e := range c.buckets[q.GroupKey()] {
+			if !Subsumes(e.Query, q) {
+				continue
+			}
+			if best == nil || e.Result.N < best.Result.N {
+				best = e
+			}
+		}
+		if best != nil {
+			if res, ok := Derive(best.Query, best.Result, q); ok {
+				best.Uses++
+				best.LastUsed = now
+				c.stats.DerivedHits++
+				return res, true
+			}
+		}
+	} else {
+		for _, e := range c.buckets[q.GroupKey()] {
+			if res, ok := Derive(e.Query, e.Result, q); ok {
+				e.Uses++
+				e.LastUsed = now
+				c.stats.DerivedHits++
+				return res, true
+			}
+		}
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Put stores a result for the (already executed) query.
+func (c *IntelligentCache) Put(q *query.Query, res *exec.Result, cost time.Duration) {
+	if c.opt.MaxResultBytes > 0 && res.SizeBytes() > c.opt.MaxResultBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := q.Key()
+	if old, ok := c.byKey[key]; ok {
+		c.removeLocked(old)
+	}
+	now := c.clock()
+	e := &Entry{Query: q.Clone(), Result: res, Cost: cost, Created: now, LastUsed: now}
+	c.byKey[key] = e
+	c.buckets[q.GroupKey()] = append(c.buckets[q.GroupKey()], e)
+	c.curBytes += e.sizeBytes()
+	c.evictLocked()
+}
+
+// Clear empties the cache.
+func (c *IntelligentCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byKey = make(map[string]*Entry)
+	c.buckets = make(map[string][]*Entry)
+	c.curBytes = 0
+}
+
+// Len returns the number of entries.
+func (c *IntelligentCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey)
+}
+
+// Stats returns counters.
+func (c *IntelligentCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Entries snapshots the cache content (persistence).
+func (c *IntelligentCache) Entries() []*Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Entry, 0, len(c.byKey))
+	for _, e := range c.byKey {
+		out = append(out, e)
+	}
+	return out
+}
+
+func (c *IntelligentCache) removeLocked(e *Entry) {
+	key := e.Query.Key()
+	delete(c.byKey, key)
+	gk := e.Query.GroupKey()
+	bucket := c.buckets[gk]
+	for i, b := range bucket {
+		if b == e {
+			c.buckets[gk] = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	c.curBytes -= e.sizeBytes()
+}
+
+func (c *IntelligentCache) evictLocked() {
+	now := c.clock()
+	for (c.opt.MaxEntries > 0 && len(c.byKey) > c.opt.MaxEntries) ||
+		(c.opt.MaxBytes > 0 && c.curBytes > c.opt.MaxBytes) {
+		var worst *Entry
+		for _, e := range c.byKey {
+			if worst == nil || e.score(now) < worst.score(now) {
+				worst = e
+			}
+		}
+		if worst == nil {
+			return
+		}
+		c.removeLocked(worst)
+		c.stats.Evictions++
+	}
+}

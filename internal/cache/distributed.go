@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"time"
+
+	"vizq/internal/kvstore"
+	"vizq/internal/query"
+	"vizq/internal/tde/exec"
+)
+
+// Distributed layers a node-local intelligent cache over a shared networked
+// key-value store. A lookup tries the local tier (with full subsumption
+// matching), then the shared store by exact structural key; shared hits are
+// pulled into the local tier so "recent entries are also stored in memory
+// on the nodes processing particular queries" (Sect. 3.2).
+type Distributed struct {
+	Local  *IntelligentCache
+	Remote *kvstore.Client
+	// TTL bounds shared entries' lifetime.
+	TTL time.Duration
+
+	remoteHits   int64
+	remoteMisses int64
+}
+
+// NewDistributed wires a local cache to a kvstore client.
+func NewDistributed(local *IntelligentCache, remote *kvstore.Client, ttl time.Duration) *Distributed {
+	return &Distributed{Local: local, Remote: remote, TTL: ttl}
+}
+
+// Get answers q from the local tier or the shared store.
+func (d *Distributed) Get(q *query.Query) (*exec.Result, bool) {
+	if res, ok := d.Local.Get(q); ok {
+		return res, true
+	}
+	if d.Remote == nil {
+		return nil, false
+	}
+	data, ok, err := d.Remote.Get(q.Key())
+	if err != nil || !ok {
+		d.remoteMisses++
+		return nil, false
+	}
+	sq, sres, cost, err := DecodeEntry(data)
+	if err != nil {
+		d.remoteMisses++
+		return nil, false
+	}
+	d.remoteHits++
+	// Warm the local tier: future queries on this node can match by
+	// subsumption, not only by exact key.
+	d.Local.Put(sq, sres, cost)
+	res, ok := Derive(sq, sres, q)
+	return res, ok
+}
+
+// Put stores into both tiers.
+func (d *Distributed) Put(q *query.Query, res *exec.Result, cost time.Duration) {
+	d.Local.Put(q, res, cost)
+	if d.Remote == nil {
+		return
+	}
+	if data, err := EncodeEntry(q, res, cost); err == nil {
+		_ = d.Remote.Set(q.Key(), data, d.TTL) // best-effort: cache, not storage
+	}
+}
+
+// RemoteStats reports shared-store outcomes for this node.
+func (d *Distributed) RemoteStats() (hits, misses int64) {
+	return d.remoteHits, d.remoteMisses
+}

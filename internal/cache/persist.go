@@ -1,0 +1,133 @@
+package cache
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+
+	"vizq/internal/query"
+	"vizq/internal/tde/exec"
+)
+
+// Desktop persists query caches to disk "to enable fast response times
+// across different sessions with the application" (Sect. 3.2).
+
+type persistedEntry struct {
+	Query  *query.Query
+	Result *exec.Result
+	CostNS int64
+}
+
+type persistedCache struct {
+	Version int
+	Entries []persistedEntry
+}
+
+// Save writes the intelligent cache contents to a file.
+func (c *IntelligentCache) Save(path string) error {
+	entries := c.Entries()
+	p := persistedCache{Version: 1, Entries: make([]persistedEntry, 0, len(entries))}
+	for _, e := range entries {
+		p.Entries = append(p.Entries, persistedEntry{Query: e.Query, Result: e.Result, CostNS: int64(e.Cost)})
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load restores persisted entries into the cache; missing files are not an
+// error (fresh session).
+func (c *IntelligentCache) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var p persistedCache
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	for _, e := range p.Entries {
+		if e.Query == nil || e.Result == nil {
+			continue
+		}
+		c.Put(e.Query, e.Result, time.Duration(e.CostNS))
+	}
+	return nil
+}
+
+type persistedLiteral struct {
+	Text   string
+	Result *exec.Result
+	CostNS int64
+}
+
+type persistedLiteralCache struct {
+	Version int
+	Entries []persistedLiteral
+}
+
+// Save writes the literal cache to a file (Desktop persists both cache
+// levels across sessions).
+func (c *LiteralCache) Save(path string) error {
+	c.mu.Lock()
+	p := persistedLiteralCache{Version: 1}
+	for text, e := range c.entries {
+		p.Entries = append(p.Entries, persistedLiteral{Text: text, Result: e.Result, CostNS: int64(e.Cost)})
+	}
+	c.mu.Unlock()
+	data, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load restores persisted literal entries; a missing file is a fresh
+// session, not an error.
+func (c *LiteralCache) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var p persistedLiteralCache
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	for _, e := range p.Entries {
+		if e.Result == nil {
+			continue
+		}
+		c.Put(e.Text, e.Result, time.Duration(e.CostNS))
+	}
+	return nil
+}
+
+// EncodeEntry serializes a query+result pair for the distributed layer.
+func EncodeEntry(q *query.Query, res *exec.Result, cost time.Duration) ([]byte, error) {
+	return json.Marshal(persistedEntry{Query: q, Result: res, CostNS: int64(cost)})
+}
+
+// DecodeEntry parses a distributed-layer payload.
+func DecodeEntry(data []byte) (*query.Query, *exec.Result, time.Duration, error) {
+	var e persistedEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, nil, 0, err
+	}
+	return e.Query, e.Result, time.Duration(e.CostNS), nil
+}

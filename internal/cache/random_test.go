@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"vizq/internal/query"
+	"vizq/internal/tde/storage"
+	"vizq/internal/workload"
+)
+
+// TestDeriveRandomized is the cache's strongest correctness check: generate
+// random stored/requested query pairs where the request is constructed to be
+// subsumed (drop dimensions, tighten filters, restrict measures), and verify
+// that Derive's locally post-processed answer matches executing the request
+// directly against the engine.
+func TestDeriveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	dims := []string{"carrier", "origin", "dest", "hour"}
+	carriers := workload.CarrierCodes(0)
+	airports := workload.AirportCodesList(0)
+
+	const trials = 60
+	derived := 0
+	for trial := 0; trial < trials; trial++ {
+		// Random stored query: 2-4 dims, several measures, 0-1 filters.
+		nd := 2 + rng.Intn(3)
+		perm := rng.Perm(len(dims))[:nd]
+		s := &query.Query{View: query.View{Table: "flights"}}
+		for _, pi := range perm {
+			s.Dims = append(s.Dims, query.Dim{Col: dims[pi]})
+		}
+		s.Measures = []query.Measure{
+			{Fn: query.Count, As: "n"},
+			{Fn: query.Sum, Col: "distance", As: "sd"},
+			{Fn: query.Min, Col: "delay", As: "mn"},
+			{Fn: query.Max, Col: "delay", As: "mx"},
+			{Fn: query.Sum, Col: "delay", As: "sdel"},
+			{Fn: query.Count, Col: "delay", As: "cdel"},
+		}
+		if rng.Intn(2) == 0 {
+			s.Filters = append(s.Filters,
+				query.RangeFilter("distance", storage.IntValue(int64(rng.Intn(500))), storage.IntValue(int64(1500+rng.Intn(1500)))))
+		}
+
+		// Derived request: subset of dims, fewer measures, extra filters on
+		// stored dims, possibly tightened stored filter, maybe avg from
+		// partials, maybe a local top-n.
+		r := s.Clone()
+		keep := 1 + rng.Intn(len(s.Dims))
+		r.Dims = r.Dims[:keep]
+		r.Measures = []query.Measure{{Fn: query.Count, As: "n"}}
+		if rng.Intn(2) == 0 {
+			r.Measures = append(r.Measures, query.Measure{Fn: query.Sum, Col: "distance", As: "sd"})
+		}
+		if rng.Intn(2) == 0 {
+			r.Measures = append(r.Measures, query.Measure{Fn: query.Avg, Col: "delay", As: "avg_delay"})
+		}
+		switch rng.Intn(3) {
+		case 0:
+			hasCarrierDim := false
+			for _, d := range s.Dims {
+				if d.Col == "carrier" {
+					hasCarrierDim = true
+				}
+			}
+			if hasCarrierDim {
+				pick := []storage.Value{
+					storage.StrValue(carriers[rng.Intn(len(carriers))]),
+					storage.StrValue(carriers[rng.Intn(len(carriers))]),
+				}
+				r.Filters = append(r.Filters, query.InFilter("carrier", pick...))
+			}
+		case 1:
+			hasOriginDim := false
+			for _, d := range s.Dims {
+				if d.Col == "origin" {
+					hasOriginDim = true
+				}
+			}
+			if hasOriginDim {
+				r.Filters = append(r.Filters, query.InFilter("origin",
+					storage.StrValue(airports[rng.Intn(len(airports))]),
+					storage.StrValue(airports[rng.Intn(len(airports))]),
+					storage.StrValue(airports[rng.Intn(len(airports))])))
+			}
+		case 2:
+			if len(s.Filters) == 1 {
+				// Tighten the stored range.
+				f := s.Filters[0]
+				f.Lo = storage.IntValue(f.Lo.I + 100)
+				f.Hi = storage.IntValue(f.Hi.I - 100)
+				r.Filters = []query.Filter{f}
+			}
+		}
+		if rng.Intn(3) == 0 {
+			r.OrderBy = []query.Order{{Col: "n", Desc: true}}
+			r.N = 1 + rng.Intn(5)
+		}
+
+		sres := run(t, s)
+		got, ok := Derive(s, sres, r)
+		if !ok {
+			// Some random combinations are legitimately non-derivable (avg
+			// requested with roll-up but partials dropped from r, etc.).
+			// Verify Subsumes agrees so planning and execution stay in sync.
+			if Subsumes(s, r) {
+				t.Fatalf("trial %d: Subsumes=true but Derive failed\nS=%s\nR=%s", trial, s.Key(), r.Key())
+			}
+			continue
+		}
+		derived++
+		want := run(t, r)
+		g, w := canon(got), canon(want)
+		if len(g) != len(w) {
+			t.Fatalf("trial %d: rows %d vs %d\nS=%s\nR=%s", trial, len(g), len(w), s.Key(), r.Key())
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("trial %d row %d:\n got %s\nwant %s\nS=%s\nR=%s", trial, i, g[i], w[i], s.Key(), r.Key())
+			}
+		}
+	}
+	if derived < trials/2 {
+		t.Errorf("only %d/%d trials derived; generator too restrictive", derived, trials)
+	}
+	t.Logf("derived %d/%d random subsumption pairs correctly", derived, trials)
+}

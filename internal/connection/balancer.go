@@ -1,0 +1,67 @@
+package connection
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vizq/internal/tde/exec"
+)
+
+// Balancer fronts a cluster of identical server nodes (the TDE's server
+// deployment, Sect. 4.1.4: "deployed either as a shared-nothing architecture
+// or shared-everything architecture ... a load balancer dispatches queries
+// to different nodes in the TDE cluster"). Each node gets its own connection
+// pool; queries are dispatched to the node with the fewest live connections,
+// breaking ties round-robin.
+type Balancer struct {
+	pools []*Pool
+	next  uint64
+}
+
+// NewBalancer builds a balancer over node addresses, one pool per node.
+func NewBalancer(addrs []string, cfg PoolConfig) (*Balancer, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("connection: balancer needs at least one node")
+	}
+	b := &Balancer{}
+	for _, a := range addrs {
+		b.pools = append(b.pools, NewPool(a, cfg))
+	}
+	return b, nil
+}
+
+// pick chooses the least-loaded pool (ties resolved round-robin).
+func (b *Balancer) pick() *Pool {
+	start := int(atomic.AddUint64(&b.next, 1))
+	best := b.pools[start%len(b.pools)]
+	for i := 0; i < len(b.pools); i++ {
+		p := b.pools[(start+i)%len(b.pools)]
+		if p.Live() < best.Live() {
+			best = p
+		}
+	}
+	return best
+}
+
+// Query dispatches one query to a node.
+func (b *Balancer) Query(ctx context.Context, tql string) (*exec.Result, error) {
+	return b.pick().Query(ctx, tql)
+}
+
+// Nodes returns the per-node pools (for stats).
+func (b *Balancer) Nodes() []*Pool { return b.pools }
+
+// Close shuts every node pool.
+func (b *Balancer) Close() {
+	var wg sync.WaitGroup
+	for _, p := range b.pools {
+		wg.Add(1)
+		go func(p *Pool) {
+			defer wg.Done()
+			p.Close()
+		}(p)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,202 @@
+// Package connection manages pooled connections to remote data sources
+// (Sect. 3.5): opening a connection and retrieving metadata is costly, so
+// connections are pooled and kept around even when idle; an age-wise
+// eviction policy releases remote resources unused for long periods.
+// Queries from different components are multiplexed across the pool's
+// connections regardless of their remote session state.
+package connection
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"vizq/internal/remote"
+	"vizq/internal/tde/exec"
+)
+
+// PoolConfig tunes a pool.
+type PoolConfig struct {
+	// Max bounds the number of live connections (the concurrency the data
+	// source receives).
+	Max int
+	// IdleTimeout closes connections unused for this long (0 = never).
+	IdleTimeout time.Duration
+	// MaxAge retires connections regardless of use (0 = never).
+	MaxAge time.Duration
+}
+
+// Stats counts pool activity.
+type Stats struct {
+	Dials     int64
+	Reuses    int64
+	Evictions int64
+}
+
+// Pool maintains connections to one data source.
+type Pool struct {
+	addr string
+	cfg  PoolConfig
+
+	mu     sync.Mutex
+	idle   []*remote.Conn
+	live   int
+	waiter chan struct{}
+	closed bool
+	stats  Stats
+}
+
+// NewPool creates a pool for the given server address.
+func NewPool(addr string, cfg PoolConfig) *Pool {
+	if cfg.Max <= 0 {
+		cfg.Max = 1
+	}
+	return &Pool{addr: addr, cfg: cfg, waiter: make(chan struct{}, 1)}
+}
+
+// Addr returns the pooled server address.
+func (p *Pool) Addr() string { return p.addr }
+
+// Stats snapshots counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Acquire returns a connection, reusing an idle one, dialing a new one, or
+// waiting for a release when the pool is at capacity.
+func (p *Pool) Acquire(ctx context.Context) (*remote.Conn, error) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, errors.New("connection: pool closed")
+		}
+		p.evictLocked()
+		if n := len(p.idle); n > 0 {
+			c := p.idle[n-1]
+			p.idle = p.idle[:n-1]
+			p.stats.Reuses++
+			p.mu.Unlock()
+			return c, nil
+		}
+		if p.live < p.cfg.Max {
+			p.live++
+			p.stats.Dials++
+			p.mu.Unlock()
+			c, err := remote.Dial(p.addr)
+			if err != nil {
+				p.mu.Lock()
+				p.live--
+				p.mu.Unlock()
+				p.signal()
+				return nil, err
+			}
+			return c, nil
+		}
+		p.mu.Unlock()
+		select {
+		case <-p.waiter:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Release returns a connection to the pool (or closes it when aged out).
+func (p *Pool) Release(c *remote.Conn) {
+	p.mu.Lock()
+	if p.closed || c.Closed() || (p.cfg.MaxAge > 0 && c.Age() > p.cfg.MaxAge) {
+		p.live--
+		if !c.Closed() {
+			p.stats.Evictions++
+		}
+		p.mu.Unlock()
+		c.Close()
+		p.signal()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+	p.signal()
+}
+
+// Discard drops a broken connection without pooling it.
+func (p *Pool) Discard(c *remote.Conn) {
+	p.mu.Lock()
+	p.live--
+	p.mu.Unlock()
+	c.Close()
+	p.signal()
+}
+
+func (p *Pool) signal() {
+	select {
+	case p.waiter <- struct{}{}:
+	default:
+	}
+}
+
+// evictLocked applies the age-wise idle eviction policy.
+func (p *Pool) evictLocked() {
+	if p.cfg.IdleTimeout <= 0 {
+		return
+	}
+	kept := p.idle[:0]
+	for _, c := range p.idle {
+		if c.IdleFor() > p.cfg.IdleTimeout {
+			c.Close()
+			p.live--
+			p.stats.Evictions++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	p.idle = kept
+}
+
+// Query acquires a connection, runs the query and releases it.
+func (p *Pool) Query(ctx context.Context, tql string) (*exec.Result, error) {
+	c, err := p.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Query(ctx, tql)
+	if err != nil {
+		// A transport error poisons the connection; a query error does not.
+		if res == nil && isTransport(err) {
+			p.Discard(c)
+		} else {
+			p.Release(c)
+		}
+		return nil, err
+	}
+	p.Release(c)
+	return res, nil
+}
+
+func isTransport(err error) bool {
+	var ne interface{ Timeout() bool }
+	return errors.As(err, &ne) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Close shuts the pool and all idle connections.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}
+
+// Live reports the number of open connections (idle + in use).
+func (p *Pool) Live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.live
+}

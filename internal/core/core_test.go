@@ -1,0 +1,347 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"vizq/internal/connection"
+	"vizq/internal/query"
+	"vizq/internal/remote"
+	"vizq/internal/tde/engine"
+	"vizq/internal/tde/exec"
+	"vizq/internal/tde/storage"
+	"vizq/internal/workload"
+)
+
+func startBackend(t testing.TB, cfg remote.Config) *remote.Server {
+	t.Helper()
+	db, err := workload.BuildFlightsDB(workload.FlightsConfig{Rows: 8000, Days: 90, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := remote.NewServer(engine.New(db), cfg)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func newProcessor(t testing.TB, srv *remote.Server, opt Options, poolSize int) *Processor {
+	t.Helper()
+	pool := connection.NewPool(srv.Addr(), connection.PoolConfig{Max: poolSize})
+	t.Cleanup(pool.Close)
+	return NewProcessor(pool, nil, nil, opt)
+}
+
+func canon(r *exec.Result) []string {
+	out := make([]string, r.N)
+	for i := 0; i < r.N; i++ {
+		parts := make([]string, len(r.Cols))
+		for c := range r.Cols {
+			v := r.Value(i, c)
+			if v.Type == storage.TFloat && !v.Null {
+				parts[c] = fmt.Sprintf("%.6f", v.F)
+			} else {
+				parts[c] = v.String()
+			}
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameResult(t *testing.T, got, want *exec.Result) {
+	t.Helper()
+	g, w := canon(got), canon(want)
+	if len(g) != len(w) {
+		t.Fatalf("rows: %d vs %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("row %d:\n got %s\nwant %s", i, g[i], w[i])
+		}
+	}
+}
+
+func carrierCounts() *query.Query {
+	return &query.Query{
+		DataSource: "flights",
+		View:       query.View{Table: "flights"},
+		Dims:       []query.Dim{{Col: "carrier"}},
+		Measures:   []query.Measure{{Fn: query.Count, As: "n"}},
+	}
+}
+
+func TestExecuteCachesResults(t *testing.T) {
+	srv := startBackend(t, remote.Config{})
+	p := newProcessor(t, srv, DefaultOptions(), 2)
+	ctx := context.Background()
+	q := carrierCounts()
+	r1, err := p.Execute(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Execute(ctx, q.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, r2, r1)
+	st := p.Stats()
+	if st.RemoteQueries != 1 || st.CacheHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if srv.Stats().Queries != 1 {
+		t.Errorf("backend saw %d queries", srv.Stats().Queries)
+	}
+}
+
+func TestExecuteAvgAdjustedForReuse(t *testing.T) {
+	srv := startBackend(t, remote.Config{})
+	p := newProcessor(t, srv, DefaultOptions(), 2)
+	ctx := context.Background()
+	fine := &query.Query{
+		DataSource: "flights",
+		View:       query.View{Table: "flights"},
+		Dims:       []query.Dim{{Col: "carrier"}, {Col: "origin"}},
+		Measures:   []query.Measure{{Fn: query.Avg, Col: "delay", As: "a"}},
+	}
+	if _, err := p.Execute(ctx, fine); err != nil {
+		t.Fatal(err)
+	}
+	// A coarser AVG over the same data must be a cache hit thanks to the
+	// sum/count adjustment.
+	coarse := fine.Clone()
+	coarse.Dims = []query.Dim{{Col: "carrier"}}
+	res, err := p.Execute(ctx, coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().RemoteQueries != 1 {
+		t.Errorf("remote queries = %d, want 1 (avg roll-up should hit)", p.Stats().RemoteQueries)
+	}
+	// Validate against a processor without caching.
+	p2 := newProcessor(t, srv, Options{DisableIntelligentCache: true, DisableLiteralCache: true}, 2)
+	want, err := p2.Execute(ctx, coarse.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, res, want)
+}
+
+func dashboardBatch() []*query.Query {
+	base := query.View{Table: "flights"}
+	return []*query.Query{
+		// q0: the "big" zone query — carrier x origin counts + delays.
+		{
+			DataSource: "flights", View: base,
+			Dims:     []query.Dim{{Col: "carrier"}, {Col: "origin"}},
+			Measures: []query.Measure{{Fn: query.Count, As: "n"}, {Fn: query.Sum, Col: "distance", As: "dist"}},
+		},
+		// q1: derivable roll-up of q0.
+		{
+			DataSource: "flights", View: base,
+			Dims:     []query.Dim{{Col: "carrier"}},
+			Measures: []query.Measure{{Fn: query.Count, As: "n"}},
+		},
+		// q2: derivable filter of q0.
+		{
+			DataSource: "flights", View: base,
+			Dims:     []query.Dim{{Col: "origin"}},
+			Measures: []query.Measure{{Fn: query.Count, As: "n"}},
+			Filters:  []query.Filter{query.InFilter("carrier", storage.StrValue("WN"))},
+		},
+		// q3: independent remote query (different view columns).
+		{
+			DataSource: "flights", View: base,
+			Dims:     []query.Dim{{Col: "dest"}},
+			Measures: []query.Measure{{Fn: query.Count, As: "n"}},
+		},
+		// q4: fusable with q3 — same everything but the projection list.
+		{
+			DataSource: "flights", View: base,
+			Dims:     []query.Dim{{Col: "dest"}},
+			Measures: []query.Measure{{Fn: query.Sum, Col: "distance", As: "dist"}},
+		},
+	}
+}
+
+func TestExecuteBatch(t *testing.T) {
+	srv := startBackend(t, remote.Config{Latency: 2 * time.Millisecond})
+	p := newProcessor(t, srv, DefaultOptions(), 4)
+	ctx := context.Background()
+	batch := dashboardBatch()
+	results, err := p.ExecuteBatch(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backendQueries := srv.Stats().Queries
+	// Correctness: compare each against an uncached pipeline.
+	ref := newProcessor(t, srv, Options{DisableIntelligentCache: true, DisableLiteralCache: true}, 4)
+	for i, q := range batch {
+		want, err := ref.Execute(ctx, q.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, results[i], want)
+	}
+	// Efficiency: q1 and q2 answered locally, q3+q4 fused -> 2 remote sends.
+	st := p.Stats()
+	if st.RemoteQueries != 2 {
+		t.Errorf("remote queries = %d, want 2 (stats %+v)", st.RemoteQueries, st)
+	}
+	if st.LocalAnswers != 2 {
+		t.Errorf("local answers = %d, want 2", st.LocalAnswers)
+	}
+	if st.FusedAway != 1 {
+		t.Errorf("fused away = %d, want 1", st.FusedAway)
+	}
+	if backendQueries != 2 {
+		t.Errorf("backend saw %d queries, want 2", backendQueries)
+	}
+}
+
+func TestExecuteBatchSerialBaseline(t *testing.T) {
+	srv := startBackend(t, remote.Config{})
+	p := newProcessor(t, srv, Options{
+		DisableBatchConcurrency: true,
+		DisableFusion:           true,
+		DisableIntelligentCache: true,
+		DisableLiteralCache:     true,
+	}, 1)
+	results, err := p.ExecuteBatch(context.Background(), dashboardBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("result %d missing", i)
+		}
+	}
+	if got := srv.Stats().Queries; got != 5 {
+		t.Errorf("serial baseline should send all 5 queries, sent %d", got)
+	}
+}
+
+func TestExecuteBatchIdenticalQueries(t *testing.T) {
+	srv := startBackend(t, remote.Config{})
+	p := newProcessor(t, srv, DefaultOptions(), 4)
+	q := carrierCounts()
+	batch := []*query.Query{q, q.Clone(), q.Clone()}
+	results, err := p.ExecuteBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, results[1], results[0])
+	sameResult(t, results[2], results[0])
+	if got := srv.Stats().Queries; got != 1 {
+		t.Errorf("identical queries should collapse to one send, sent %d", got)
+	}
+}
+
+func TestLargeFilterExternalization(t *testing.T) {
+	srv := startBackend(t, remote.Config{})
+	opt := DefaultOptions()
+	opt.MaxInlineFilterValues = 5
+	p := newProcessor(t, srv, opt, 2)
+	ctx := context.Background()
+
+	var vals []storage.Value
+	for _, m := range workload.AirportCodesList(20) {
+		vals = append(vals, storage.StrValue(m))
+	}
+	q := carrierCounts()
+	q.Filters = []query.Filter{query.InFilter("origin", vals...)}
+	res, err := p.Execute(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().TempTables != 1 {
+		t.Errorf("temp tables = %d", p.Stats().TempTables)
+	}
+	// Same semantics as the inline version.
+	inlineOpt := DefaultOptions()
+	inlineOpt.MaxInlineFilterValues = 1000
+	inlineOpt.DisableIntelligentCache = true
+	inlineOpt.DisableLiteralCache = true
+	p2 := newProcessor(t, srv, inlineOpt, 2)
+	want, err := p2.Execute(ctx, q.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, res, want)
+	// And the externalized result is cached under the original structure.
+	if _, err := p.Execute(ctx, q.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().CacheHits != 1 {
+		t.Errorf("cache hits = %d", p.Stats().CacheHits)
+	}
+}
+
+func TestLiteralCacheHit(t *testing.T) {
+	srv := startBackend(t, remote.Config{})
+	// Intelligent cache off: identical text still hits the literal cache.
+	p := newProcessor(t, srv, Options{DisableIntelligentCache: true}, 2)
+	ctx := context.Background()
+	q := carrierCounts()
+	if _, err := p.Execute(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(ctx, q.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().LiteralHits != 1 {
+		t.Errorf("literal hits = %d", p.Stats().LiteralHits)
+	}
+	if srv.Stats().Queries != 1 {
+		t.Errorf("backend queries = %d", srv.Stats().Queries)
+	}
+}
+
+func TestBatchConcurrencyFasterThanSerial(t *testing.T) {
+	// The headline claim of Sect. 3.3/3.5: with per-query latency and idle
+	// backend resources, concurrent submission over multiple connections
+	// beats serial execution.
+	lat := 25 * time.Millisecond
+	srv := startBackend(t, remote.Config{Latency: lat})
+	mkBatch := func() []*query.Query {
+		var out []*query.Query
+		for i, col := range []string{"carrier", "origin", "dest", "market", "hour", "date"} {
+			q := &query.Query{
+				DataSource: "flights",
+				View:       query.View{Table: "flights"},
+				Dims:       []query.Dim{{Col: col}},
+				Measures:   []query.Measure{{Fn: query.Count, As: "n"}},
+				// Distinct filters so nothing is derivable across queries.
+				Filters: []query.Filter{query.GtFilter("distance", storage.IntValue(int64(100+i)))},
+			}
+			out = append(out, q)
+		}
+		return out
+	}
+
+	serial := newProcessor(t, srv, Options{DisableBatchConcurrency: true, DisableIntelligentCache: true, DisableLiteralCache: true}, 1)
+	start := time.Now()
+	if _, err := serial.ExecuteBatch(context.Background(), mkBatch()); err != nil {
+		t.Fatal(err)
+	}
+	serialTime := time.Since(start)
+
+	conc := newProcessor(t, srv, Options{DisableIntelligentCache: true, DisableLiteralCache: true}, 6)
+	start = time.Now()
+	if _, err := conc.ExecuteBatch(context.Background(), mkBatch()); err != nil {
+		t.Fatal(err)
+	}
+	concTime := time.Since(start)
+
+	if concTime >= serialTime {
+		t.Errorf("concurrent (%v) should beat serial (%v)", concTime, serialTime)
+	}
+	t.Logf("serial=%v concurrent=%v speedup=%.1fx", serialTime, concTime, float64(serialTime)/float64(concTime))
+}

@@ -1,0 +1,242 @@
+// Package core is the paper's primary contribution: the query processing
+// pipeline for dashboards (Sect. 3). It prepares query batches — building
+// the cache-hit opportunity graph, partitioning queries into remote and
+// local sets, fusing projection-variant queries — submits remote queries
+// concurrently over pooled connections, externalizes large filter
+// enumerations into session temporary tables, and answers local queries
+// from the two-level query cache.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"vizq/internal/cache"
+	"vizq/internal/connection"
+	"vizq/internal/query"
+	"vizq/internal/tde/exec"
+	"vizq/internal/tde/plan"
+	"vizq/internal/tde/storage"
+)
+
+// QueryCache is the intelligent-cache surface the processor needs; both
+// *cache.IntelligentCache and *cache.Distributed satisfy it.
+type QueryCache interface {
+	Get(*query.Query) (*exec.Result, bool)
+	Put(*query.Query, *exec.Result, time.Duration)
+}
+
+// Options tunes the pipeline; the Disable flags drive ablation benchmarks.
+type Options struct {
+	// DisableIntelligentCache turns semantic caching off.
+	DisableIntelligentCache bool
+	// DisableLiteralCache turns text caching off.
+	DisableLiteralCache bool
+	// DisableFusion turns query fusion (Sect. 3.4) off.
+	DisableFusion bool
+	// DisableBatchConcurrency executes batches serially (the baseline of
+	// Sect. 3.3).
+	DisableBatchConcurrency bool
+	// DisableReuseAdjustment stops rewriting AVG into SUM/COUNT partials.
+	DisableReuseAdjustment bool
+	// MaxInlineFilterValues externalizes larger IN lists into temporary
+	// tables on the data source (Sect. 3.1/5.3). 0 disables.
+	MaxInlineFilterValues int
+}
+
+// DefaultOptions enable everything.
+func DefaultOptions() Options {
+	return Options{MaxInlineFilterValues: 250}
+}
+
+// Stats counts pipeline activity.
+type Stats struct {
+	RemoteQueries int64
+	CacheHits     int64
+	LiteralHits   int64
+	FusedAway     int64
+	LocalAnswers  int64
+	TempTables    int64
+}
+
+// Processor executes internal queries against one data source through the
+// caching and batching pipeline.
+type Processor struct {
+	pool        *connection.Pool
+	intelligent QueryCache
+	literal     *cache.LiteralCache
+	opt         Options
+
+	stats Stats
+}
+
+// NewProcessor wires a pipeline. intelligent and literal may be nil (both
+// caches then default to fresh instances; use Options to disable).
+func NewProcessor(pool *connection.Pool, intelligent QueryCache, literal *cache.LiteralCache, opt Options) *Processor {
+	if intelligent == nil {
+		intelligent = cache.NewIntelligentCache(cache.DefaultOptions())
+	}
+	if literal == nil {
+		literal = cache.NewLiteralCache(cache.DefaultOptions())
+	}
+	return &Processor{pool: pool, intelligent: intelligent, literal: literal, opt: opt}
+}
+
+// ClearCaches purges both cache levels — done when a data source connection
+// is closed or refreshed ("entries are also purged when a connection to a
+// data source is closed or refreshed", Sect. 3.2).
+func (p *Processor) ClearCaches() {
+	p.literal.Clear()
+	if c, ok := p.intelligent.(interface{ Clear() }); ok {
+		c.Clear()
+	}
+}
+
+// Stats snapshots counters.
+func (p *Processor) Stats() Stats {
+	return Stats{
+		RemoteQueries: atomic.LoadInt64(&p.stats.RemoteQueries),
+		CacheHits:     atomic.LoadInt64(&p.stats.CacheHits),
+		LiteralHits:   atomic.LoadInt64(&p.stats.LiteralHits),
+		FusedAway:     atomic.LoadInt64(&p.stats.FusedAway),
+		LocalAnswers:  atomic.LoadInt64(&p.stats.LocalAnswers),
+		TempTables:    atomic.LoadInt64(&p.stats.TempTables),
+	}
+}
+
+// Execute runs one query through the full pipeline: intelligent cache,
+// reuse adjustment, literal cache, remote execution, cache population.
+func (p *Processor) Execute(ctx context.Context, q *query.Query) (*exec.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.opt.DisableIntelligentCache {
+		if res, ok := p.intelligent.Get(q); ok {
+			atomic.AddInt64(&p.stats.CacheHits, 1)
+			return res, nil
+		}
+	}
+	sent := q
+	if !p.opt.DisableReuseAdjustment {
+		sent = cache.AdjustForReuse(q)
+	}
+	res, err := p.executeRemote(ctx, sent)
+	if err != nil {
+		return nil, err
+	}
+	if sent == q {
+		return res, nil
+	}
+	derived, ok := cache.Derive(sent, res, q)
+	if !ok {
+		return nil, fmt.Errorf("core: adjusted query does not cover the original")
+	}
+	return derived, nil
+}
+
+// executeRemote sends a query to the data source, going through the literal
+// cache and externalizing oversized IN lists into session temp tables.
+func (p *Processor) executeRemote(ctx context.Context, q *query.Query) (*exec.Result, error) {
+	big := p.bigFilters(q)
+	if len(big) > 0 {
+		return p.executeWithTempTables(ctx, q, big)
+	}
+	text := q.ToTQL()
+	if !p.opt.DisableLiteralCache {
+		if res, ok := p.literal.Get(text); ok {
+			atomic.AddInt64(&p.stats.LiteralHits, 1)
+			return res, nil
+		}
+	}
+	start := time.Now()
+	res, err := p.pool.Query(ctx, text)
+	if err != nil {
+		return nil, err
+	}
+	cost := time.Since(start)
+	atomic.AddInt64(&p.stats.RemoteQueries, 1)
+	if !p.opt.DisableLiteralCache {
+		p.literal.Put(text, res, cost)
+	}
+	if !p.opt.DisableIntelligentCache {
+		p.intelligent.Put(q, res, cost)
+	}
+	return res, nil
+}
+
+func (p *Processor) bigFilters(q *query.Query) []int {
+	if p.opt.MaxInlineFilterValues <= 0 {
+		return nil
+	}
+	var out []int
+	for i, f := range q.Filters {
+		if f.Kind == query.FilterIn && len(f.In) > p.opt.MaxInlineFilterValues {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// executeWithTempTables externalizes the given IN filters as temporary
+// tables in the remote session and rewrites the query to join against them
+// ("externalization of large enumerations with temporary secondary
+// structures", Sect. 3.1). The query must run on the connection holding the
+// temp tables, so the pipeline pins one for the duration.
+func (p *Processor) executeWithTempTables(ctx context.Context, q *query.Query, big []int) (*exec.Result, error) {
+	conn, err := p.pool.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer p.pool.Release(conn)
+
+	rewritten := q.Clone()
+	var keep []query.Filter
+	bigSet := map[int]bool{}
+	for _, i := range big {
+		bigSet[i] = true
+	}
+	joinIdx := 0
+	for i, f := range q.Filters {
+		if !bigSet[i] {
+			keep = append(keep, f)
+			continue
+		}
+		// Deduplicate: the n:1 join must not multiply fact rows.
+		vals := exec.NewResult([]plan.ColInfo{{Name: "val", Type: f.In[0].Type, Coll: storage.CollBinary}})
+		seen := make(map[string]bool, len(f.In))
+		for _, v := range f.In {
+			k := v.String()
+			if v.Null || seen[k] {
+				continue
+			}
+			seen[k] = true
+			vals.AppendRow([]storage.Value{v})
+		}
+		alias := fmt.Sprintf("filter%d", joinIdx)
+		joinIdx++
+		name, err := conn.CreateTempTable(ctx, alias, vals)
+		if err != nil {
+			return nil, err
+		}
+		atomic.AddInt64(&p.stats.TempTables, 1)
+		rewritten.View.Joins = append(rewritten.View.Joins, query.JoinSpec{
+			Table: name, LeftCol: f.Col, RightCol: "val",
+		})
+	}
+	rewritten.Filters = keep
+
+	start := time.Now()
+	res, err := conn.Query(ctx, rewritten.ToTQL())
+	if err != nil {
+		return nil, err
+	}
+	atomic.AddInt64(&p.stats.RemoteQueries, 1)
+	// Cache under the ORIGINAL structure: the temp-table join is an
+	// execution detail, the semantics are the original filters.
+	if !p.opt.DisableIntelligentCache {
+		p.intelligent.Put(q, res, time.Since(start))
+	}
+	return res, nil
+}

@@ -1,0 +1,169 @@
+// Package experiments implements the reproduction harness: one experiment
+// per performance claim in the paper (see DESIGN.md's experiment index).
+// Each experiment builds its workload, runs the baseline and the improved
+// configuration, and reports the same series a reader would want from the
+// paper's narrative: who wins, by what factor, and where behaviour crosses
+// over. cmd/benchrunner prints every table; bench_test.go wraps the same
+// code in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vizq/internal/remote"
+	"vizq/internal/tde/engine"
+	"vizq/internal/workload"
+)
+
+// Scale sizes the experiments.
+type Scale struct {
+	// Rows is the fact table size for engine experiments.
+	Rows int
+	// RemoteRows is the fact table size behind the simulated remote server.
+	RemoteRows int
+	// Latency is the per-request latency of simulated remote servers.
+	Latency time.Duration
+	// Repeat is the measurement repetition count (medians are reported).
+	Repeat int
+	// MaxDOP bounds engine parallelism.
+	MaxDOP int
+	// ScanIODelay is the simulated block-read latency per scan batch (see
+	// exec.Config) used by the engine-side experiments; it models the
+	// disk-bound scans of the real TDE so parallelism and range skipping
+	// show their intended behaviour even on single-core hosts.
+	ScanIODelay time.Duration
+}
+
+// TestScale is small enough for unit tests.
+func TestScale() Scale {
+	return Scale{Rows: 60_000, RemoteRows: 20_000, Latency: 2 * time.Millisecond,
+		Repeat: 1, MaxDOP: 4, ScanIODelay: 100 * time.Microsecond}
+}
+
+// FullScale is what cmd/benchrunner uses.
+func FullScale() Scale {
+	return Scale{Rows: 1_000_000, RemoteRows: 200_000, Latency: 10 * time.Millisecond,
+		Repeat: 3, MaxDOP: 8, ScanIODelay: 150 * time.Microsecond}
+}
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper statement under test
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w))
+		b.WriteString("  ")
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is an experiment entry point.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(Scale) (*Table, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "query batch processing", E1BatchProcessing},
+		{"E2", "query fusion", E2QueryFusion},
+		{"E3", "concurrent connections", E3ConcurrentConnections},
+		{"E4", "query caching", E4QueryCaching},
+		{"E5", "TDE parallel plans", E5ParallelPlans},
+		{"E6", "RLE index scans", E6RLEIndexScan},
+		{"E7", "shadow extracts", E7ShadowExtract},
+		{"E8", "Data Server temp tables", E8DataServerTempTables},
+		{"E9", "published vs embedded extracts", E9PublishedVsEmbeddedExtracts},
+	}
+}
+
+// ---- shared helpers ----
+
+// median runs f once to warm caches and allocators, then repeat more times,
+// returning the median duration.
+func median(repeat int, f func() error) (time.Duration, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	if err := f(); err != nil { // warmup
+		return 0, err
+	}
+	times := make([]time.Duration, 0, repeat)
+	for i := 0; i < repeat; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		times = append(times, time.Since(start))
+	}
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	return times[len(times)/2], nil
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000)
+}
+
+func speedup(base, other time.Duration) string {
+	if other <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", float64(base)/float64(other))
+}
+
+// startRemote spins a simulated remote database over a flights dataset.
+func startRemote(rows int, cfg remote.Config) (*remote.Server, error) {
+	db, err := workload.BuildFlightsDB(workload.FlightsConfig{Rows: rows, Days: 365, Seed: 77})
+	if err != nil {
+		return nil, err
+	}
+	srv := remote.NewServer(engine.New(db), cfg)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAllExperimentsRun executes every experiment at test scale and checks
+// the structural invariants each claim predicts, so a regression in any
+// pipeline layer breaks this test rather than silently flattening a curve.
+func TestAllExperimentsRun(t *testing.T) {
+	s := TestScale()
+	tables := map[string]*Table{}
+	for _, r := range All() {
+		table, err := r.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		if table.ID != r.ID || len(table.Rows) == 0 || len(table.Header) == 0 {
+			t.Fatalf("%s: malformed table %+v", r.ID, table)
+		}
+		for _, row := range table.Rows {
+			if len(row) != len(table.Header) {
+				t.Fatalf("%s: ragged row %v", r.ID, row)
+			}
+		}
+		tables[r.ID] = table
+	}
+
+	// E1: the partitioned strategies must send fewer remote queries.
+	e1 := tables["E1"]
+	serialSent := atoiCell(t, e1.Rows[0][1])
+	partitionedSent := atoiCell(t, e1.Rows[2][1])
+	if partitionedSent >= serialSent {
+		t.Errorf("E1: partition should cut remote queries: %d vs %d", partitionedSent, serialSent)
+	}
+
+	// E2: fused always sends exactly one query.
+	for _, row := range tables["E2"].Rows {
+		if row[1] == "fused" && row[2] != "1" {
+			t.Errorf("E2: fused sent %s queries", row[2])
+		}
+	}
+
+	// E4: intelligent caching must cut backend queries by an integer factor.
+	e4 := tables["E4"]
+	none := atoiCell(t, e4.Rows[0][1])
+	intelligent := atoiCell(t, e4.Rows[2][1])
+	distributed := atoiCell(t, e4.Rows[3][1])
+	if intelligent >= none || distributed > intelligent {
+		t.Errorf("E4: backend queries %d -> %d -> %d", none, intelligent, distributed)
+	}
+
+	// E6: the index scan must win at the most selective point.
+	e6 := tables["E6"]
+	full := msCell(t, e6.Rows[0][1])
+	idx := msCell(t, e6.Rows[0][2])
+	if idx >= full {
+		t.Errorf("E6: index scan (%v) should beat full scan (%v) at 0.1%%", idx, full)
+	}
+
+	// E7: shadow extract must win by n=10.
+	e7 := tables["E7"]
+	last := e7.Rows[len(e7.Rows)-1]
+	if msCell(t, last[2]) >= msCell(t, last[1]) {
+		t.Errorf("E7: shadow (%s) should beat reparse (%s) at n=10", last[2], last[1])
+	}
+
+	// E9: the published extract must pull far less than the embedded copies.
+	e9 := tables["E9"]
+	embeddedPulls := atoiCell(t, e9.Rows[0][2])
+	publishedPulls := atoiCell(t, e9.Rows[1][2])
+	if publishedPulls >= embeddedPulls {
+		t.Errorf("E9: published pulls %d should be < embedded %d", publishedPulls, embeddedPulls)
+	}
+
+	// E8: the temp-table text size must be constant while inline grows.
+	e8 := tables["E8"]
+	var inlineSizes, tempSizes []int
+	for _, row := range e8.Rows {
+		if row[1] == "inline IN list" {
+			inlineSizes = append(inlineSizes, atoiCell(t, row[2]))
+		} else {
+			tempSizes = append(tempSizes, atoiCell(t, row[2]))
+		}
+	}
+	if inlineSizes[len(inlineSizes)-1] <= inlineSizes[0] {
+		t.Error("E8: inline text should grow with filter size")
+	}
+	for _, s := range tempSizes[1:] {
+		if s != tempSizes[0] {
+			t.Error("E8: temp-table text should be constant")
+		}
+	}
+}
+
+func atoiCell(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		t.Fatalf("bad int cell %q", s)
+	}
+	return n
+}
+
+func msCell(t *testing.T, s string) time.Duration {
+	t.Helper()
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("bad ms cell %q", s)
+	}
+	return time.Duration(f * float64(time.Millisecond))
+}
+
+func TestTableString(t *testing.T) {
+	tab := &Table{ID: "EX", Title: "demo", Claim: "c",
+		Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}}
+	out := tab.String()
+	for _, want := range []string{"EX — demo", "claim: c", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestScalePresets(t *testing.T) {
+	if TestScale().Rows >= FullScale().Rows {
+		t.Error("test scale should be smaller")
+	}
+	if len(All()) != 9 {
+		t.Errorf("experiments = %d, want 9", len(All()))
+	}
+}

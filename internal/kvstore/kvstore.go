@@ -1,0 +1,116 @@
+// Package kvstore is a small networked key-value store with TTL and LRU
+// eviction. It stands in for the REDIS/Cassandra layer Tableau Server uses
+// to distribute its query caches across cluster nodes (Sect. 3.2: "a
+// distributed layer ... allows sharing data across nodes in the cluster and
+// keeping data warm regardless of which node handles particular requests").
+package kvstore
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for tests.
+type Clock func() time.Time
+
+// Store is the in-memory KV engine, safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	maxBytes int64
+	curBytes int64
+	clock    Clock
+
+	hits   int64
+	misses int64
+}
+
+type kvEntry struct {
+	key     string
+	val     []byte
+	expires time.Time // zero = no TTL
+}
+
+// NewStore creates a store bounded to maxBytes (0 = unbounded).
+func NewStore(maxBytes int64) *Store {
+	return &Store{
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		maxBytes: maxBytes,
+		clock:    time.Now,
+	}
+}
+
+// SetClock replaces the time source (tests).
+func (s *Store) SetClock(c Clock) { s.clock = c }
+
+// Get returns the value for key, if present and unexpired.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	e := el.Value.(*kvEntry)
+	if !e.expires.IsZero() && s.clock().After(e.expires) {
+		s.removeLocked(el)
+		s.misses++
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	s.hits++
+	return e.val, true
+}
+
+// Set stores a value with an optional TTL (0 = no expiry).
+func (s *Store) Set(key string, val []byte, ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.removeLocked(el)
+	}
+	e := &kvEntry{key: key, val: val}
+	if ttl > 0 {
+		e.expires = s.clock().Add(ttl)
+	}
+	el := s.lru.PushFront(e)
+	s.entries[key] = el
+	s.curBytes += int64(len(key) + len(val))
+	for s.maxBytes > 0 && s.curBytes > s.maxBytes && s.lru.Len() > 1 {
+		s.removeLocked(s.lru.Back())
+	}
+}
+
+// Delete removes a key.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.removeLocked(el)
+	}
+}
+
+// Len returns the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// Stats returns hit/miss counters.
+func (s *Store) Stats() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+func (s *Store) removeLocked(el *list.Element) {
+	e := el.Value.(*kvEntry)
+	s.lru.Remove(el)
+	delete(s.entries, e.key)
+	s.curBytes -= int64(len(e.key) + len(e.val))
+}

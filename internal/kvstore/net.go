@@ -1,0 +1,265 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire protocol: every message is length-prefixed. Requests are
+// [op u8][keyLen u32][key][ttlMs u64][valLen u32][val]; responses are
+// [status u8][valLen u32][val]. Ops: G(et), S(et), D(elete), P(ing).
+
+const (
+	opGet    = 'G'
+	opSet    = 'S'
+	opDelete = 'D'
+	opPing   = 'P'
+
+	statusOK       = 0
+	statusNotFound = 1
+	statusError    = 2
+)
+
+// Server exposes a Store over TCP.
+type Server struct {
+	store *Store
+	ln    net.Listener
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// Serve starts a server on addr ("127.0.0.1:0" for an ephemeral port).
+func Serve(addr string, store *Store) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server, dropping live client connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
+	for {
+		op, err := r.ReadByte()
+		if err != nil {
+			return
+		}
+		key, err := readBlob(r)
+		if err != nil {
+			return
+		}
+		var ttl uint64
+		if err := binary.Read(r, binary.LittleEndian, &ttl); err != nil {
+			return
+		}
+		val, err := readBlob(r)
+		if err != nil {
+			return
+		}
+		switch op {
+		case opGet:
+			if v, ok := s.store.Get(string(key)); ok {
+				writeResponse(w, statusOK, v)
+			} else {
+				writeResponse(w, statusNotFound, nil)
+			}
+		case opSet:
+			s.store.Set(string(key), val, time.Duration(ttl)*time.Millisecond)
+			writeResponse(w, statusOK, nil)
+		case opDelete:
+			s.store.Delete(string(key))
+			writeResponse(w, statusOK, nil)
+		case opPing:
+			writeResponse(w, statusOK, []byte("pong"))
+		default:
+			writeResponse(w, statusError, []byte(fmt.Sprintf("bad op %q", op)))
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func readBlob(r *bufio.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > 1<<30 {
+		return nil, errors.New("kvstore: blob too large")
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func writeResponse(w *bufio.Writer, status byte, val []byte) {
+	w.WriteByte(status)
+	binary.Write(w, binary.LittleEndian, uint32(len(val)))
+	w.Write(val)
+}
+
+// Client talks to a kvstore server over a single multiplexed connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	addr string
+}
+
+// Dial connects to a kvstore server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 1<<16),
+		w:    bufio.NewWriterSize(conn, 1<<16),
+		addr: addr,
+	}, nil
+}
+
+// Close shuts the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(op byte, key string, ttl time.Duration, val []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.WriteByte(op)
+	binary.Write(c.w, binary.LittleEndian, uint32(len(key)))
+	c.w.WriteString(key)
+	binary.Write(c.w, binary.LittleEndian, uint64(ttl/time.Millisecond))
+	binary.Write(c.w, binary.LittleEndian, uint32(len(val)))
+	c.w.Write(val)
+	if err := c.w.Flush(); err != nil {
+		return 0, nil, err
+	}
+	status, err := c.r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	body, err := readBlob(c.r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return status, body, nil
+}
+
+// Get fetches a key.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	status, body, err := c.roundTrip(opGet, key, 0, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	return body, status == statusOK, nil
+}
+
+// Set stores a key with TTL (0 = none).
+func (c *Client) Set(key string, val []byte, ttl time.Duration) error {
+	status, body, err := c.roundTrip(opSet, key, ttl, val)
+	if err != nil {
+		return err
+	}
+	if status != statusOK {
+		return fmt.Errorf("kvstore: set failed: %s", body)
+	}
+	return nil
+}
+
+// Delete removes a key.
+func (c *Client) Delete(key string) error {
+	status, body, err := c.roundTrip(opDelete, key, 0, nil)
+	if err != nil {
+		return err
+	}
+	if status != statusOK {
+		return fmt.Errorf("kvstore: delete failed: %s", body)
+	}
+	return nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	status, _, err := c.roundTrip(opPing, "", 0, nil)
+	if err != nil {
+		return err
+	}
+	if status != statusOK {
+		return errors.New("kvstore: ping failed")
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package remote
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"vizq/internal/tde/exec"
+)
+
+// Conn is one client connection to a simulated remote database. A single
+// connection executes one request at a time — concurrent queries require
+// multiple connections, the strategy most backends mandate (Sect. 3.5).
+type Conn struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	created time.Time
+	lastUse time.Time
+	closed  bool
+}
+
+// Dial opens a connection to a remote server.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	return &Conn{
+		conn:    nc,
+		r:       bufio.NewReaderSize(nc, 1<<16),
+		w:       bufio.NewWriterSize(nc, 1<<16),
+		created: now,
+		lastUse: now,
+	}, nil
+}
+
+// Close shuts the connection, releasing session state on the server.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// Closed reports whether Close has been called.
+func (c *Conn) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Age returns how long the connection has existed.
+func (c *Conn) Age() time.Duration { return time.Since(c.created) }
+
+// IdleFor returns the time since the last request.
+func (c *Conn) IdleFor() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Since(c.lastUse)
+}
+
+func (c *Conn) roundTrip(ctx context.Context, req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("remote: connection closed")
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(deadline)
+	} else {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+	if err := writeFrame(c.w, req); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame[Response](c.r)
+	if err != nil {
+		return nil, err
+	}
+	c.lastUse = time.Now()
+	if resp.Err != "" {
+		return nil, fmt.Errorf("remote: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness.
+func (c *Conn) Ping(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, &Request{Op: OpPing})
+	return err
+}
+
+// Query executes TQL on the server.
+func (c *Conn) Query(ctx context.Context, tql string) (*exec.Result, error) {
+	resp, err := c.roundTrip(ctx, &Request{Op: OpQuery, TQL: tql})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Result == nil {
+		return nil, errors.New("remote: empty result")
+	}
+	return resp.Result, nil
+}
+
+// CreateTempTable uploads rows as a session-local temporary table and
+// returns its qualified name for use in subsequent queries.
+func (c *Conn) CreateTempTable(ctx context.Context, alias string, rows *exec.Result) (string, error) {
+	resp, err := c.roundTrip(ctx, &Request{Op: OpTempCreate, Name: alias, Result: rows})
+	if err != nil {
+		return "", err
+	}
+	return resp.Name, nil
+}
+
+// DropTempTable removes a session temp table by alias.
+func (c *Conn) DropTempTable(ctx context.Context, alias string) error {
+	_, err := c.roundTrip(ctx, &Request{Op: OpTempDrop, Name: alias})
+	return err
+}
+
+// Metadata returns a table's schema as a zero-row result.
+func (c *Conn) Metadata(ctx context.Context, table string) (*exec.Result, error) {
+	resp, err := c.roundTrip(ctx, &Request{Op: OpMetadata, Name: table})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Result == nil {
+		return nil, errors.New("remote: empty metadata")
+	}
+	return resp.Result, nil
+}

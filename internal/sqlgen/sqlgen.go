@@ -1,0 +1,282 @@
+// Package sqlgen translates internal queries into textual queries in the
+// dialect of the target data source (Sect. 3.1: "a simplified query is
+// subsequently translated into a textual representation that matches the
+// dialect of the underlying data source ... each has their own exceptions
+// to the standard"). Dialects declare their capabilities so the compiler
+// can decide what must be post-processed locally or externalized into
+// temporary structures.
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"vizq/internal/query"
+	"vizq/internal/tde/storage"
+)
+
+// Caps describes what a backend supports.
+type Caps struct {
+	// TempTables: session-local temporary table creation.
+	TempTables bool
+	// Subqueries: derived tables in FROM.
+	Subqueries bool
+	// MaxInList bounds IN-list size before externalization is required
+	// (0 = unlimited).
+	MaxInList int
+	// ParallelPlans: backend parallelizes a single query across cores.
+	ParallelPlans bool
+}
+
+// Dialect renders identifiers, literals and query clauses for one backend
+// family.
+type Dialect interface {
+	Name() string
+	Capabilities() Caps
+	Quote(ident string) string
+	Literal(v storage.Value) string
+	// TopNClause returns the prefix ("SELECT TOP 5") and suffix
+	// ("LIMIT 5") forms; exactly one is non-empty.
+	TopNClause(n int) (selectPrefix, suffix string)
+	// AggFunc renders an aggregate call.
+	AggFunc(fn query.AggFunc, arg string) string
+}
+
+// Generate renders the internal query as SQL text in the dialect.
+func Generate(q *query.Query, d Dialect) (string, error) {
+	if err := q.Validate(); err != nil {
+		return "", err
+	}
+	var sel []string
+	var groups []string
+	for _, dim := range q.Dims {
+		expr := d.Quote(dim.Col)
+		if dim.Expr != "" {
+			return "", fmt.Errorf("sqlgen: calculated dimension %q must be compiled per dialect", dim.Expr)
+		}
+		groups = append(groups, expr)
+		sel = append(sel, fmt.Sprintf("%s AS %s", expr, d.Quote(dim.Name())))
+	}
+	for _, m := range q.Measures {
+		arg := "*"
+		if m.Col != "" {
+			arg = d.Quote(m.Col)
+		}
+		sel = append(sel, fmt.Sprintf("%s AS %s", d.AggFunc(m.Fn, arg), d.Quote(m.Name())))
+	}
+
+	from := d.Quote(q.View.Table)
+	for _, j := range q.View.Joins {
+		from += fmt.Sprintf(" INNER JOIN %s ON %s.%s = %s.%s",
+			d.Quote(j.Table),
+			d.Quote(q.View.Table), d.Quote(j.LeftCol),
+			d.Quote(j.Table), d.Quote(j.RightCol))
+	}
+
+	var where []string
+	for _, f := range q.Filters {
+		clause, err := filterSQL(f, d)
+		if err != nil {
+			return "", err
+		}
+		where = append(where, clause)
+	}
+
+	prefix, suffix := "", ""
+	if q.N > 0 {
+		prefix, suffix = d.TopNClause(q.N)
+	}
+
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if prefix != "" {
+		b.WriteString(prefix)
+		b.WriteString(" ")
+	}
+	b.WriteString(strings.Join(sel, ", "))
+	b.WriteString(" FROM ")
+	b.WriteString(from)
+	if len(where) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(where, " AND "))
+	}
+	if len(groups) > 0 {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(strings.Join(groups, ", "))
+	}
+	if len(q.OrderBy) > 0 {
+		var keys []string
+		for _, o := range q.OrderBy {
+			dir := "ASC"
+			if o.Desc {
+				dir = "DESC"
+			}
+			keys = append(keys, fmt.Sprintf("%s %s", d.Quote(o.Col), dir))
+		}
+		b.WriteString(" ORDER BY ")
+		b.WriteString(strings.Join(keys, ", "))
+	}
+	if suffix != "" {
+		b.WriteString(" ")
+		b.WriteString(suffix)
+	}
+	return b.String(), nil
+}
+
+func filterSQL(f query.Filter, d Dialect) (string, error) {
+	col := d.Quote(f.Col)
+	if f.Kind == query.FilterIn {
+		if caps := d.Capabilities(); caps.MaxInList > 0 && len(f.In) > caps.MaxInList {
+			return "", fmt.Errorf("sqlgen: IN list on %s exceeds dialect limit (%d > %d); externalize into a temporary table",
+				f.Col, len(f.In), caps.MaxInList)
+		}
+		vals := make([]string, len(f.In))
+		for i, v := range f.In {
+			vals[i] = d.Literal(v)
+		}
+		return fmt.Sprintf("%s IN (%s)", col, strings.Join(vals, ", ")), nil
+	}
+	var parts []string
+	if f.LoSet {
+		op := ">="
+		if f.LoOpen {
+			op = ">"
+		}
+		parts = append(parts, fmt.Sprintf("%s %s %s", col, op, d.Literal(f.Lo)))
+	}
+	if f.HiSet {
+		op := "<="
+		if f.HiOpen {
+			op = "<"
+		}
+		parts = append(parts, fmt.Sprintf("%s %s %s", col, op, d.Literal(f.Hi)))
+	}
+	return strings.Join(parts, " AND "), nil
+}
+
+// ---- dialect implementations ----
+
+// Generic is an ANSI-ish dialect with LIMIT, double-quote quoting and full
+// capabilities; it stands in for modern column stores.
+type Generic struct{}
+
+// Name implements Dialect.
+func (Generic) Name() string { return "generic" }
+
+// Capabilities implements Dialect.
+func (Generic) Capabilities() Caps {
+	return Caps{TempTables: true, Subqueries: true, MaxInList: 0, ParallelPlans: true}
+}
+
+// Quote implements Dialect.
+func (Generic) Quote(ident string) string {
+	return `"` + strings.ReplaceAll(ident, `"`, `""`) + `"`
+}
+
+// Literal implements Dialect.
+func (Generic) Literal(v storage.Value) string { return ansiLiteral(v) }
+
+// TopNClause implements Dialect.
+func (Generic) TopNClause(n int) (string, string) { return "", fmt.Sprintf("LIMIT %d", n) }
+
+// AggFunc implements Dialect.
+func (Generic) AggFunc(fn query.AggFunc, arg string) string { return ansiAgg(fn, arg) }
+
+// MSSQL mimics SQL Server: bracket quoting, SELECT TOP, bounded IN lists.
+type MSSQL struct{}
+
+// Name implements Dialect.
+func (MSSQL) Name() string { return "mssql" }
+
+// Capabilities implements Dialect.
+func (MSSQL) Capabilities() Caps {
+	return Caps{TempTables: true, Subqueries: true, MaxInList: 2000, ParallelPlans: true}
+}
+
+// Quote implements Dialect.
+func (MSSQL) Quote(ident string) string {
+	return "[" + strings.ReplaceAll(ident, "]", "]]") + "]"
+}
+
+// Literal implements Dialect.
+func (MSSQL) Literal(v storage.Value) string {
+	if !v.Null && v.Type == storage.TBool {
+		if v.I != 0 {
+			return "1"
+		}
+		return "0"
+	}
+	return ansiLiteral(v)
+}
+
+// TopNClause implements Dialect.
+func (MSSQL) TopNClause(n int) (string, string) { return fmt.Sprintf("TOP %d", n), "" }
+
+// AggFunc implements Dialect.
+func (MSSQL) AggFunc(fn query.AggFunc, arg string) string { return ansiAgg(fn, arg) }
+
+// Legacy models an old single-threaded backend without temp-table support
+// and a small IN-list bound; it exercises the rewrite-without-temp-table
+// paths (Sect. 5.3).
+type Legacy struct{}
+
+// Name implements Dialect.
+func (Legacy) Name() string { return "legacy" }
+
+// Capabilities implements Dialect.
+func (Legacy) Capabilities() Caps {
+	return Caps{TempTables: false, Subqueries: false, MaxInList: 500, ParallelPlans: false}
+}
+
+// Quote implements Dialect.
+func (Legacy) Quote(ident string) string { return `"` + ident + `"` }
+
+// Literal implements Dialect.
+func (Legacy) Literal(v storage.Value) string { return ansiLiteral(v) }
+
+// TopNClause implements Dialect.
+func (Legacy) TopNClause(n int) (string, string) { return "", fmt.Sprintf("LIMIT %d", n) }
+
+// AggFunc implements Dialect.
+func (Legacy) AggFunc(fn query.AggFunc, arg string) string { return ansiAgg(fn, arg) }
+
+func ansiLiteral(v storage.Value) string {
+	if v.Null {
+		return "NULL"
+	}
+	switch v.Type {
+	case storage.TStr:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	case storage.TDate:
+		return "DATE '" + v.String() + "'"
+	case storage.TDateTime:
+		return "TIMESTAMP '" + v.String() + "'"
+	case storage.TBool:
+		if v.I != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return v.String()
+	}
+}
+
+func ansiAgg(fn query.AggFunc, arg string) string {
+	switch fn {
+	case query.CountD:
+		return fmt.Sprintf("COUNT(DISTINCT %s)", arg)
+	case query.Count:
+		return fmt.Sprintf("COUNT(%s)", arg)
+	default:
+		return fmt.Sprintf("%s(%s)", strings.ToUpper(string(fn)), arg)
+	}
+}
+
+// Dialects returns the registered dialects by name.
+func Dialects() map[string]Dialect {
+	return map[string]Dialect{
+		"generic": Generic{},
+		"mssql":   MSSQL{},
+		"legacy":  Legacy{},
+	}
+}

@@ -1,0 +1,121 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"vizq/internal/query"
+	"vizq/internal/tde/storage"
+)
+
+func flightsQuery() *query.Query {
+	return &query.Query{
+		DataSource: "warehouse",
+		View:       query.View{Table: "flights", Joins: []query.JoinSpec{{Table: "carriers", LeftCol: "carrier", RightCol: "carrier"}}},
+		Dims:       []query.Dim{{Col: "airline_name"}},
+		Measures: []query.Measure{
+			{Fn: query.Count, As: "n"},
+			{Fn: query.Avg, Col: "delay", As: "avgdelay"},
+			{Fn: query.CountD, Col: "market", As: "markets"},
+		},
+		Filters: []query.Filter{
+			query.InFilter("origin", storage.StrValue(`LAX`), storage.StrValue("O'HARE")),
+			query.RangeFilter("date", storage.DateValue(2015, 1, 1), storage.DateValue(2015, 3, 31)),
+		},
+		OrderBy: []query.Order{{Col: "n", Desc: true}},
+		N:       5,
+	}
+}
+
+func TestGenericSQL(t *testing.T) {
+	sql, err := Generate(flightsQuery(), Generic{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `SELECT "airline_name" AS "airline_name", COUNT(*) AS "n", AVG("delay") AS "avgdelay", COUNT(DISTINCT "market") AS "markets" FROM "flights" INNER JOIN "carriers" ON "flights"."carrier" = "carriers"."carrier" WHERE "origin" IN ('LAX', 'O''HARE') AND "date" >= DATE '2015-01-01' AND "date" <= DATE '2015-03-31' GROUP BY "airline_name" ORDER BY "n" DESC LIMIT 5`
+	if sql != want {
+		t.Errorf("generic SQL:\n got %s\nwant %s", sql, want)
+	}
+}
+
+func TestMSSQLDialect(t *testing.T) {
+	sql, err := Generate(flightsQuery(), MSSQL{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sql, "SELECT TOP 5 ") {
+		t.Errorf("mssql should use TOP: %s", sql)
+	}
+	if !strings.Contains(sql, "[airline_name]") {
+		t.Errorf("mssql should bracket-quote: %s", sql)
+	}
+	if strings.Contains(sql, "LIMIT") {
+		t.Errorf("mssql must not emit LIMIT: %s", sql)
+	}
+}
+
+func TestInListLimit(t *testing.T) {
+	q := &query.Query{
+		View: query.View{Table: "t"},
+		Dims: []query.Dim{{Col: "a"}},
+	}
+	var vals []storage.Value
+	for i := 0; i < 600; i++ {
+		vals = append(vals, storage.IntValue(int64(i)))
+	}
+	q.Filters = []query.Filter{query.InFilter("a", vals...)}
+	if _, err := Generate(q, Legacy{}); err == nil {
+		t.Error("legacy dialect should reject a 600-item IN list")
+	}
+	if _, err := Generate(q, Generic{}); err != nil {
+		t.Errorf("generic dialect should accept it: %v", err)
+	}
+}
+
+func TestBoolLiteralPerDialect(t *testing.T) {
+	q := &query.Query{
+		View:    query.View{Table: "t"},
+		Dims:    []query.Dim{{Col: "a"}},
+		Filters: []query.Filter{query.InFilter("cancelled", storage.BoolValue(true))},
+	}
+	g, err := Generate(q, Generic{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g, "IN (TRUE)") {
+		t.Errorf("generic bool: %s", g)
+	}
+	m, err := Generate(q, MSSQL{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m, "IN (1)") {
+		t.Errorf("mssql bool: %s", m)
+	}
+}
+
+func TestCalculatedDimRejected(t *testing.T) {
+	q := &query.Query{
+		View: query.View{Table: "t"},
+		Dims: []query.Dim{{Expr: "(weekday date)", As: "wd"}},
+	}
+	if _, err := Generate(q, Generic{}); err == nil {
+		t.Error("calculated dims need per-dialect compilation and must error for now")
+	}
+}
+
+func TestDialectsRegistry(t *testing.T) {
+	ds := Dialects()
+	for _, name := range []string{"generic", "mssql", "legacy"} {
+		d, ok := ds[name]
+		if !ok || d.Name() != name {
+			t.Errorf("dialect %s missing", name)
+		}
+	}
+	if (Legacy{}).Capabilities().TempTables {
+		t.Error("legacy must not support temp tables")
+	}
+	if !(MSSQL{}).Capabilities().ParallelPlans {
+		t.Error("mssql supports parallel plans")
+	}
+}

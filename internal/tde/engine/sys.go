@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"strings"
+
+	"vizq/internal/tde/storage"
+)
+
+// RefreshSysTables (re)builds the reserved SYS schema from the current
+// catalog: SYS.tables and SYS.columns describe every user table, so the
+// metadata is queryable with ordinary TQL (Sect. 4.1.1: "the metadata is
+// stored in the reserved SYS schema"). It is called automatically by New and
+// after temp-table changes; call it manually after mutating the catalog
+// directly.
+func (e *Engine) RefreshSysTables() error {
+	db := e.db
+	_ = db.DropTable(storage.SysSchema, "tables")
+	_ = db.DropTable(storage.SysSchema, "columns")
+
+	var tSchema, tName, tSorted []storage.Value
+	var tRows []storage.Value
+	var cSchema, cTable, cName, cType, cColl, cEnc, cSorted []storage.Value
+	var cDistinct, cNulls, cDictSize []storage.Value
+
+	for _, t := range db.AllTables() {
+		tSchema = append(tSchema, storage.StrValue(t.Schema))
+		tName = append(tName, storage.StrValue(t.Name))
+		tRows = append(tRows, storage.IntValue(t.Rows))
+		tSorted = append(tSorted, storage.StrValue(strings.Join(t.SortKey, ",")))
+		for _, c := range t.Cols {
+			cSchema = append(cSchema, storage.StrValue(t.Schema))
+			cTable = append(cTable, storage.StrValue(t.Name))
+			cName = append(cName, storage.StrValue(c.Name))
+			cType = append(cType, storage.StrValue(c.Type.String()))
+			cColl = append(cColl, storage.StrValue(c.Coll.String()))
+			cEnc = append(cEnc, storage.StrValue(c.Encoding().String()))
+			cSorted = append(cSorted, storage.BoolValue(c.Stats.Sorted))
+			cDistinct = append(cDistinct, storage.IntValue(c.Stats.Distinct))
+			cNulls = append(cNulls, storage.IntValue(c.Stats.Nulls))
+			dictSize := int64(0)
+			if c.Dict != nil {
+				dictSize = int64(c.Dict.Len())
+			}
+			cDictSize = append(cDictSize, storage.IntValue(dictSize))
+		}
+	}
+	if len(tName) == 0 {
+		return nil
+	}
+
+	build := func(name string, t storage.Type, vals []storage.Value) (*storage.Column, error) {
+		return storage.BuildColumn(name, t, storage.CollCI, vals, storage.BuildOptions{})
+	}
+	var err error
+	mk := func(name string, t storage.Type, vals []storage.Value) *storage.Column {
+		if err != nil {
+			return nil
+		}
+		var c *storage.Column
+		c, err = build(name, t, vals)
+		return c
+	}
+	tablesTbl := []*storage.Column{
+		mk("schema", storage.TStr, tSchema),
+		mk("name", storage.TStr, tName),
+		mk("rows", storage.TInt, tRows),
+		mk("sorted_by", storage.TStr, tSorted),
+	}
+	columnsTbl := []*storage.Column{
+		mk("schema", storage.TStr, cSchema),
+		mk("table", storage.TStr, cTable),
+		mk("name", storage.TStr, cName),
+		mk("type", storage.TStr, cType),
+		mk("collation", storage.TStr, cColl),
+		mk("encoding", storage.TStr, cEnc),
+		mk("sorted", storage.TBool, cSorted),
+		mk("distinct", storage.TInt, cDistinct),
+		mk("nulls", storage.TInt, cNulls),
+		mk("dict_size", storage.TInt, cDictSize),
+	}
+	if err != nil {
+		return err
+	}
+	tt, err := storage.NewTable(storage.SysSchema, "tables", tablesTbl)
+	if err != nil {
+		return err
+	}
+	if err := db.AddTable(tt); err != nil {
+		return err
+	}
+	ct, err := storage.NewTable(storage.SysSchema, "columns", columnsTbl)
+	if err != nil {
+		return err
+	}
+	return db.AddTable(ct)
+}

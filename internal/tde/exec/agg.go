@@ -1,0 +1,290 @@
+package exec
+
+import (
+	"vizq/internal/tde/plan"
+	"vizq/internal/tde/storage"
+)
+
+// accum is the running state of one aggregate within one group.
+type accum struct {
+	count int64
+	sumI  int64
+	sumF  float64
+	min   storage.Value
+	max   storage.Value
+	set   map[string]struct{} // countd only
+}
+
+func (a *accum) add(fn plan.AggFn, v storage.Value, coll storage.Collation) {
+	if fn == plan.AggCount && v.Type == storage.TNull && !v.Null {
+		// count(*): caller passes a non-null marker
+		a.count++
+		return
+	}
+	if v.Null {
+		return
+	}
+	switch fn {
+	case plan.AggCount:
+		a.count++
+	case plan.AggSum, plan.AggAvg:
+		a.count++
+		if v.Type == storage.TFloat {
+			a.sumF += v.F
+		} else {
+			a.sumI += v.I
+			a.sumF += float64(v.I)
+		}
+	case plan.AggMin:
+		if a.count == 0 || storage.Compare(v, a.min, coll) < 0 {
+			a.min = v
+		}
+		a.count++
+	case plan.AggMax:
+		if a.count == 0 || storage.Compare(v, a.max, coll) > 0 {
+			a.max = v
+		}
+		a.count++
+	case plan.AggCountD:
+		if a.set == nil {
+			a.set = make(map[string]struct{})
+		}
+		key := string(encodeValue(nil, v, coll))
+		a.set[key] = struct{}{}
+	}
+}
+
+func (a *accum) result(fn plan.AggFn, inType storage.Type) storage.Value {
+	switch fn {
+	case plan.AggCount:
+		return storage.IntValue(a.count)
+	case plan.AggCountD:
+		return storage.IntValue(int64(len(a.set)))
+	case plan.AggSum:
+		if a.count == 0 {
+			return storage.NullValue(fn.ResultType(inType))
+		}
+		if inType == storage.TFloat {
+			return storage.FloatValue(a.sumF)
+		}
+		return storage.IntValue(a.sumI)
+	case plan.AggAvg:
+		if a.count == 0 {
+			return storage.NullValue(storage.TFloat)
+		}
+		return storage.FloatValue(a.sumF / float64(a.count))
+	case plan.AggMin:
+		if a.count == 0 {
+			return storage.NullValue(inType)
+		}
+		return a.min
+	default: // AggMax
+		if a.count == 0 {
+			return storage.NullValue(inType)
+		}
+		return a.max
+	}
+}
+
+type group struct {
+	keys   []storage.Value
+	accums []accum
+}
+
+// aggCommon holds the pieces shared by the hash and streaming variants.
+type aggCommon struct {
+	node   *plan.Aggregate
+	schema []plan.ColInfo
+}
+
+func (a *aggCommon) newGroup(b *storage.Batch, row int) *group {
+	g := &group{
+		keys:   make([]storage.Value, len(a.node.GroupBy)),
+		accums: make([]accum, len(a.node.Aggs)),
+	}
+	for i, gi := range a.node.GroupBy {
+		g.keys[i] = b.Cols[gi].Value(row)
+	}
+	return g
+}
+
+func (a *aggCommon) update(g *group, b *storage.Batch, row int) {
+	for i, spec := range a.node.Aggs {
+		if spec.ArgIdx < 0 {
+			// count(*): pass the non-null marker value
+			g.accums[i].add(spec.Fn, storage.Value{Type: storage.TNull}, storage.CollBinary)
+			continue
+		}
+		coll := a.schema[spec.ArgIdx].Coll
+		g.accums[i].add(spec.Fn, b.Cols[spec.ArgIdx].Value(row), coll)
+	}
+}
+
+func (a *aggCommon) encodeKey(buf []byte, b *storage.Batch, row int) []byte {
+	for _, gi := range a.node.GroupBy {
+		buf = encodeValue(buf, b.Cols[gi].Value(row), a.schema[gi].Coll)
+	}
+	return buf
+}
+
+func (a *aggCommon) emit(out *Result, g *group) {
+	row := make([]storage.Value, 0, len(g.keys)+len(g.accums))
+	row = append(row, g.keys...)
+	for i, spec := range a.node.Aggs {
+		inType := storage.TInt
+		if spec.ArgIdx >= 0 {
+			inType = a.schema[spec.ArgIdx].Type
+		}
+		row = append(row, g.accums[i].result(spec.Fn, inType))
+	}
+	out.AppendRow(row)
+}
+
+// hashAggOp is the stop-and-go hash aggregation operator.
+type hashAggOp struct {
+	aggCommon
+	child Operator
+	out   *Result
+	pos   int
+	done  bool
+}
+
+func (h *hashAggOp) Next() (*storage.Batch, error) {
+	if !h.done {
+		if err := h.consume(); err != nil {
+			return nil, err
+		}
+		h.done = true
+	}
+	if h.pos >= h.out.N {
+		return nil, nil
+	}
+	to := h.pos + storage.BatchSize
+	if to > h.out.N {
+		to = h.out.N
+	}
+	cols := make([]*storage.Vector, len(h.out.Cols))
+	for i, v := range h.out.Cols {
+		cols[i] = v.Slice(h.pos, to)
+	}
+	h.pos = to
+	return storage.NewBatch(cols), nil
+}
+
+func (h *hashAggOp) consume() error {
+	groups := make(map[string]*group)
+	var order []*group
+	var buf []byte
+	sawRows := false
+	for {
+		b, err := h.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		sawRows = sawRows || b.N > 0
+		for i := 0; i < b.N; i++ {
+			buf = h.encodeKey(buf[:0], b, i)
+			g, ok := groups[string(buf)]
+			if !ok {
+				g = h.newGroup(b, i)
+				groups[string(buf)] = g
+				order = append(order, g)
+			}
+			h.update(g, b, i)
+		}
+	}
+	out := NewResult((&plan.Aggregate{Child: schemaNode(h.schema), GroupBy: h.node.GroupBy, Aggs: h.node.Aggs, Mode: h.node.Mode}).Schema())
+	// A grand aggregate (no group-by) over empty input yields one row of
+	// empty aggregates, matching SQL semantics.
+	if len(order) == 0 && len(h.node.GroupBy) == 0 {
+		g := &group{accums: make([]accum, len(h.node.Aggs))}
+		h.emit(out, g)
+	}
+	for _, g := range order {
+		h.emit(out, g)
+	}
+	h.out = out
+	return nil
+}
+
+func (h *hashAggOp) Close() { h.child.Close() }
+
+// streamAggOp assumes its input arrives grouped by the group-by columns
+// (a property the optimizer derives from sorting, Sect. 4.2.4) and emits
+// each group as soon as the next one starts.
+type streamAggOp struct {
+	aggCommon
+	child   Operator
+	out     *Result
+	cur     *group
+	curKey  []byte
+	started bool
+	eof     bool
+}
+
+func (s *streamAggOp) outSchema() []plan.ColInfo {
+	return (&plan.Aggregate{Child: schemaNode(s.schema), GroupBy: s.node.GroupBy, Aggs: s.node.Aggs, Mode: s.node.Mode}).Schema()
+}
+
+func (s *streamAggOp) Next() (*storage.Batch, error) {
+	if s.eof {
+		return nil, nil
+	}
+	out := NewResult(s.outSchema())
+	var buf []byte
+	for out.N < storage.BatchSize {
+		b, err := s.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			s.eof = true
+			if s.cur != nil {
+				s.emit(out, s.cur)
+				s.cur = nil
+			} else if !s.started && len(s.node.GroupBy) == 0 {
+				s.emit(out, &group{accums: make([]accum, len(s.node.Aggs))})
+			}
+			break
+		}
+		s.started = s.started || b.N > 0
+		for i := 0; i < b.N; i++ {
+			buf = s.encodeKey(buf[:0], b, i)
+			if s.cur == nil || string(buf) != string(s.curKey) {
+				if s.cur != nil {
+					s.emit(out, s.cur)
+				}
+				s.cur = s.newGroup(b, i)
+				s.curKey = append(s.curKey[:0], buf...)
+			}
+			s.update(s.cur, b, i)
+		}
+	}
+	if out.N == 0 {
+		return nil, nil
+	}
+	return storage.NewBatch(out.Cols), nil
+}
+
+func (s *streamAggOp) Close() { s.child.Close() }
+
+// schemaNode adapts a schema slice into a Node for reusing plan schema
+// computation.
+type schemaHolder struct{ schema []plan.ColInfo }
+
+func schemaNode(s []plan.ColInfo) plan.Node { return &schemaHolder{schema: s} }
+
+// Schema implements plan.Node.
+func (s *schemaHolder) Schema() []plan.ColInfo { return s.schema }
+
+// Children implements plan.Node.
+func (s *schemaHolder) Children() []plan.Node { return nil }
+
+// WithChildren implements plan.Node.
+func (s *schemaHolder) WithChildren([]plan.Node) plan.Node { return s }
+
+// Label implements plan.Node.
+func (s *schemaHolder) Label() string { return "schema" }

@@ -1,0 +1,31 @@
+package exec
+
+import (
+	"context"
+	"time"
+)
+
+// Config carries execution-environment knobs through the operator tree.
+type Config struct {
+	// ScanBatchDelay simulates block-read latency: each scan batch sleeps
+	// this long before being returned. The real TDE's scans are disk-bound;
+	// on an in-memory substrate (and on single-core CI hosts) this restores
+	// the I/O-overlap behaviour that makes parallel scans, range skipping
+	// and shared scans worthwhile. Zero (the default) disables it.
+	ScanBatchDelay time.Duration
+}
+
+type configKey struct{}
+
+// WithConfig attaches an execution config to the context.
+func WithConfig(ctx context.Context, cfg Config) context.Context {
+	return context.WithValue(ctx, configKey{}, cfg)
+}
+
+// ConfigFrom extracts the execution config (zero value when absent).
+func ConfigFrom(ctx context.Context) Config {
+	if cfg, ok := ctx.Value(configKey{}).(Config); ok {
+		return cfg
+	}
+	return Config{}
+}

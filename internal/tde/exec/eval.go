@@ -1,0 +1,502 @@
+// Package exec implements the TDE execution engine: a vectorized Volcano
+// interpreter over the logical plan, including the Exchange operator for
+// parallel plans and shared-table materialization (Sect. 4.1.3 and 4.2 of
+// the paper). Operators pull batches of rows; streaming operators emit
+// output while consuming input, stop-and-go operators (aggregate, sort,
+// top-n) consume their entire input first.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"vizq/internal/tde/plan"
+	"vizq/internal/tde/storage"
+)
+
+// EvalExpr evaluates an expression over a batch, producing one output
+// vector. Comparisons and arithmetic are vectorized; scalar function calls
+// fall back to row-at-a-time evaluation of the registered Eval.
+//
+// Null semantics: nulls propagate through comparisons, arithmetic and
+// functions; a null predicate value is treated as false by Filter and If.
+func EvalExpr(e plan.Expr, b *storage.Batch) (*storage.Vector, error) {
+	switch x := e.(type) {
+	case *plan.ColRef:
+		return b.Cols[x.Idx], nil
+	case *plan.Lit:
+		return storage.ConstVector(x.Val, b.N), nil
+	case *plan.Cmp:
+		return evalCmp(x, b)
+	case *plan.Logic:
+		return evalLogic(x, b)
+	case *plan.Arith:
+		return evalArith(x, b)
+	case *plan.InList:
+		return evalIn(x, b)
+	case *plan.IsNull:
+		return evalIsNull(x, b)
+	case *plan.If:
+		return evalIf(x, b)
+	case *plan.Call:
+		return evalCall(x, b)
+	}
+	return nil, fmt.Errorf("exec: cannot evaluate %T", e)
+}
+
+func orNulls(a, b []bool, n int) []bool {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = a[i] || b[i]
+	}
+	return out
+}
+
+func evalCmp(c *plan.Cmp, b *storage.Batch) (*storage.Vector, error) {
+	l, err := EvalExpr(c.L, b)
+	if err != nil {
+		return nil, err
+	}
+	r, err := EvalExpr(c.R, b)
+	if err != nil {
+		return nil, err
+	}
+	n := b.N
+	out := storage.NewVector(storage.TBool, n)
+	out.Null = orNulls(l.Null, r.Null, n)
+
+	// Token fast path: dictionary column compared with a string literal.
+	if l.Dict != nil && r.Dict == nil && r.Type == storage.TStr && isConstVector(c.R) {
+		if v, ok := cmpDictConst(c.Op, l, r, n, out, false); ok {
+			return v, nil
+		}
+	}
+	if r.Dict != nil && l.Dict == nil && l.Type == storage.TStr && isConstVector(c.L) {
+		if v, ok := cmpDictConst(c.Op, r, l, n, out, true); ok {
+			return v, nil
+		}
+	}
+
+	switch {
+	case l.Type == storage.TStr || r.Type == storage.TStr:
+		if l.Dict != nil && r.Dict != nil && l.Dict == r.Dict {
+			// Same dictionary: compare tokens (dictionary order = value order).
+			cmpInts(c.Op, l.I, r.I, out)
+			return out, nil
+		}
+		ld, rd := l.Decode(), r.Decode()
+		for i := 0; i < n; i++ {
+			if out.Null != nil && out.Null[i] {
+				continue
+			}
+			setBool(out, i, cmpHolds(c.Op, c.Coll.Compare(ld.S[i], rd.S[i])))
+		}
+	case l.Type == storage.TFloat || r.Type == storage.TFloat:
+		lf, rf := asFloats(l), asFloats(r)
+		for i := 0; i < n; i++ {
+			if out.Null != nil && out.Null[i] {
+				continue
+			}
+			switch {
+			case lf[i] < rf[i]:
+				setBool(out, i, cmpHolds(c.Op, -1))
+			case lf[i] > rf[i]:
+				setBool(out, i, cmpHolds(c.Op, 1))
+			default:
+				setBool(out, i, cmpHolds(c.Op, 0))
+			}
+		}
+	default:
+		cmpInts(c.Op, l.I, r.I, out)
+	}
+	return out, nil
+}
+
+// isConstVector reports whether the expression is a literal (so its vector
+// is constant and a single dictionary lookup suffices).
+func isConstVector(e plan.Expr) bool {
+	_, ok := e.(*plan.Lit)
+	return ok
+}
+
+// cmpDictConst compares a dictionary token vector against a constant string
+// using token arithmetic only. flipped indicates the constant is on the left.
+func cmpDictConst(op plan.CmpOp, dv, cv *storage.Vector, n int, out *storage.Vector, flipped bool) (*storage.Vector, bool) {
+	if cv.Null != nil && cv.Null[0] {
+		return out, true // all-null comparison already marked
+	}
+	s := cv.S[0]
+	if flipped {
+		op = flipCmp(op)
+	}
+	d := dv.Dict
+	var thr int64
+	switch op {
+	case plan.CmpEq, plan.CmpNe:
+		tok, ok := d.Lookup(s)
+		if !ok {
+			// Value absent: eq is all-false, ne all-true (nulls stay null).
+			for i := 0; i < n; i++ {
+				if out.Null != nil && out.Null[i] {
+					continue
+				}
+				setBool(out, i, op == plan.CmpNe)
+			}
+			return out, true
+		}
+		thr = int64(tok)
+	case plan.CmpLt, plan.CmpGe:
+		thr = int64(d.LowerBound(s)) // tokens < thr are < s
+	case plan.CmpLe, plan.CmpGt:
+		thr = int64(d.UpperBound(s)) // tokens < thr are <= s
+	}
+	for i := 0; i < n; i++ {
+		if out.Null != nil && out.Null[i] {
+			continue
+		}
+		t := dv.I[i]
+		var keep bool
+		switch op {
+		case plan.CmpEq:
+			keep = t == thr
+		case plan.CmpNe:
+			keep = t != thr
+		case plan.CmpLt, plan.CmpLe:
+			keep = t < thr
+		case plan.CmpGe, plan.CmpGt:
+			keep = t >= thr
+		}
+		setBool(out, i, keep)
+	}
+	return out, true
+}
+
+// flipCmp mirrors the comparison when operands are swapped (a < b == b > a).
+func flipCmp(op plan.CmpOp) plan.CmpOp {
+	switch op {
+	case plan.CmpLt:
+		return plan.CmpGt
+	case plan.CmpLe:
+		return plan.CmpGe
+	case plan.CmpGt:
+		return plan.CmpLt
+	case plan.CmpGe:
+		return plan.CmpLe
+	}
+	return op
+}
+
+func cmpInts(op plan.CmpOp, l, r []int64, out *storage.Vector) {
+	for i := range l {
+		if out.Null != nil && out.Null[i] {
+			continue
+		}
+		switch {
+		case l[i] < r[i]:
+			setBool(out, i, cmpHolds(op, -1))
+		case l[i] > r[i]:
+			setBool(out, i, cmpHolds(op, 1))
+		default:
+			setBool(out, i, cmpHolds(op, 0))
+		}
+	}
+}
+
+func cmpHolds(op plan.CmpOp, c int) bool {
+	switch op {
+	case plan.CmpEq:
+		return c == 0
+	case plan.CmpNe:
+		return c != 0
+	case plan.CmpLt:
+		return c < 0
+	case plan.CmpLe:
+		return c <= 0
+	case plan.CmpGt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+func setBool(v *storage.Vector, i int, b bool) {
+	if b {
+		v.I[i] = 1
+	} else {
+		v.I[i] = 0
+	}
+}
+
+func asFloats(v *storage.Vector) []float64 {
+	if v.Type == storage.TFloat {
+		return v.F
+	}
+	out := make([]float64, len(v.I))
+	for i, x := range v.I {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func evalLogic(l *plan.Logic, b *storage.Batch) (*storage.Vector, error) {
+	n := b.N
+	out := storage.NewVector(storage.TBool, n)
+	switch l.Op {
+	case plan.LogicNot:
+		a, err := EvalExpr(l.Args[0], b)
+		if err != nil {
+			return nil, err
+		}
+		out.Null = a.Null
+		for i := 0; i < n; i++ {
+			setBool(out, i, a.I[i] == 0)
+		}
+	case plan.LogicAnd:
+		for i := 0; i < n; i++ {
+			out.I[i] = 1
+		}
+		for _, arg := range l.Args {
+			a, err := EvalExpr(arg, b)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < n; i++ {
+				// Null operands count as false (two-valued logic, see EvalExpr doc).
+				if a.I[i] == 0 || (a.Null != nil && a.Null[i]) {
+					out.I[i] = 0
+				}
+			}
+		}
+	case plan.LogicOr:
+		for _, arg := range l.Args {
+			a, err := EvalExpr(arg, b)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < n; i++ {
+				if a.I[i] != 0 && (a.Null == nil || !a.Null[i]) {
+					out.I[i] = 1
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func evalArith(a *plan.Arith, b *storage.Batch) (*storage.Vector, error) {
+	l, err := EvalExpr(a.L, b)
+	if err != nil {
+		return nil, err
+	}
+	r, err := EvalExpr(a.R, b)
+	if err != nil {
+		return nil, err
+	}
+	n := b.N
+	out := storage.NewVector(a.Typ, n)
+	out.Null = orNulls(l.Null, r.Null, n)
+	if a.Typ == storage.TFloat {
+		lf, rf := asFloats(l), asFloats(r)
+		for i := 0; i < n; i++ {
+			switch a.Op {
+			case plan.ArithAdd:
+				out.F[i] = lf[i] + rf[i]
+			case plan.ArithSub:
+				out.F[i] = lf[i] - rf[i]
+			case plan.ArithMul:
+				out.F[i] = lf[i] * rf[i]
+			case plan.ArithDiv:
+				if rf[i] == 0 {
+					out.SetNull(i)
+				} else {
+					out.F[i] = lf[i] / rf[i]
+				}
+			case plan.ArithMod:
+				if rf[i] == 0 {
+					out.SetNull(i)
+				} else {
+					out.F[i] = math.Mod(lf[i], rf[i])
+				}
+			}
+		}
+		return out, nil
+	}
+	for i := 0; i < n; i++ {
+		switch a.Op {
+		case plan.ArithAdd:
+			out.I[i] = l.I[i] + r.I[i]
+		case plan.ArithSub:
+			out.I[i] = l.I[i] - r.I[i]
+		case plan.ArithMul:
+			out.I[i] = l.I[i] * r.I[i]
+		case plan.ArithDiv, plan.ArithMod:
+			if r.I[i] == 0 {
+				out.SetNull(i)
+			} else if a.Op == plan.ArithDiv {
+				out.I[i] = l.I[i] / r.I[i]
+			} else {
+				out.I[i] = l.I[i] % r.I[i]
+			}
+		}
+	}
+	return out, nil
+}
+
+func evalIn(e *plan.InList, b *storage.Batch) (*storage.Vector, error) {
+	v, err := EvalExpr(e.E, b)
+	if err != nil {
+		return nil, err
+	}
+	n := b.N
+	out := storage.NewVector(storage.TBool, n)
+	out.Null = v.Null
+
+	if v.Dict != nil {
+		// Token fast path: translate the value set into a token set once.
+		toks := make(map[int64]bool, len(e.Vals))
+		for _, val := range e.Vals {
+			if val.Null {
+				continue
+			}
+			if t, ok := v.Dict.Lookup(val.S); ok {
+				toks[int64(t)] = true
+			}
+		}
+		for i := 0; i < n; i++ {
+			if out.Null != nil && out.Null[i] {
+				continue
+			}
+			setBool(out, i, toks[v.I[i]] != e.Negate)
+		}
+		return out, nil
+	}
+
+	set := make(map[string]bool, len(e.Vals))
+	var buf []byte
+	for _, val := range e.Vals {
+		if val.Null {
+			continue
+		}
+		buf = encodeValue(buf[:0], coerce(val, v.Type), e.Coll)
+		set[string(buf)] = true
+	}
+	for i := 0; i < n; i++ {
+		if out.Null != nil && out.Null[i] {
+			continue
+		}
+		buf = encodeValue(buf[:0], v.Value(i), e.Coll)
+		setBool(out, i, set[string(buf)] != e.Negate)
+	}
+	return out, nil
+}
+
+// coerce widens a literal to the vector's type so int/float and date/int
+// mismatches hash consistently.
+func coerce(v storage.Value, t storage.Type) storage.Value {
+	if v.Null || v.Type == t {
+		return v
+	}
+	switch {
+	case t == storage.TFloat:
+		return storage.FloatValue(v.AsFloat())
+	case t.IntBacked() && v.Type.IntBacked():
+		return storage.Value{Type: t, I: v.I}
+	}
+	return v
+}
+
+func evalIsNull(e *plan.IsNull, b *storage.Batch) (*storage.Vector, error) {
+	v, err := EvalExpr(e.E, b)
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewVector(storage.TBool, b.N)
+	for i := 0; i < b.N; i++ {
+		setBool(out, i, v.IsNull(i) != e.Negate)
+	}
+	return out, nil
+}
+
+func evalIf(e *plan.If, b *storage.Batch) (*storage.Vector, error) {
+	cond, err := EvalExpr(e.Cond, b)
+	if err != nil {
+		return nil, err
+	}
+	thenV, err := EvalExpr(e.Then, b)
+	if err != nil {
+		return nil, err
+	}
+	elseV, err := EvalExpr(e.Else, b)
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewVector(e.Typ, b.N)
+	for i := 0; i < b.N; i++ {
+		src := elseV
+		if cond.I[i] != 0 && !cond.IsNull(i) {
+			src = thenV
+		}
+		out.Set(i, coerce(src.Value(i), e.Typ))
+	}
+	return out, nil
+}
+
+func evalCall(c *plan.Call, b *storage.Batch) (*storage.Vector, error) {
+	args := make([]*storage.Vector, len(c.Args))
+	for i, a := range c.Args {
+		v, err := EvalExpr(a, b)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	out := storage.NewVector(c.Type(), b.N)
+	row := make([]storage.Value, len(args))
+	for i := 0; i < b.N; i++ {
+		null := false
+		for j, a := range args {
+			row[j] = a.Value(i)
+			if row[j].Null {
+				null = true
+			}
+		}
+		if null && !c.Fn.NullSafe {
+			out.SetNull(i)
+			continue
+		}
+		out.Set(i, coerce(c.Fn.Eval(row), c.Type()))
+	}
+	return out, nil
+}
+
+// encodeValue appends a canonical byte encoding of v (type-tagged, with
+// collation keys for strings) used for hash-join and aggregation keys.
+func encodeValue(buf []byte, v storage.Value, coll storage.Collation) []byte {
+	if v.Null {
+		return append(buf, 0)
+	}
+	switch v.Type {
+	case storage.TFloat:
+		bits := math.Float64bits(v.F)
+		buf = append(buf, 2)
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(bits>>s))
+		}
+	case storage.TStr:
+		buf = append(buf, 3)
+		buf = append(buf, coll.Key(v.S)...)
+	default:
+		buf = append(buf, 1)
+		u := uint64(v.I)
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(u>>s))
+		}
+	}
+	return buf
+}

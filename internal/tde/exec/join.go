@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"vizq/internal/tde/plan"
+	"vizq/internal/tde/storage"
+)
+
+// hashJoinOp implements the TDE's equi-join: build a hash table from the
+// right input (dimension side), probe with the left (fact side), as in
+// Sect. 4.2.2. Null keys never match.
+type hashJoinOp struct {
+	node    *plan.Join
+	left    Operator
+	right   Operator
+	lSchema []plan.ColInfo
+	rSchema []plan.ColInfo
+
+	built bool
+	build *Result
+	table map[string][]int32
+}
+
+// keyColl returns the collation used for join key k: case-insensitive wins
+// when the two sides disagree, so both sides hash identically.
+func (j *hashJoinOp) keyColl(k int) storage.Collation {
+	l := j.lSchema[j.node.LKeys[k]].Coll
+	r := j.rSchema[j.node.RKeys[k]].Coll
+	if l == storage.CollCI || r == storage.CollCI {
+		return storage.CollCI
+	}
+	return storage.CollBinary
+}
+
+func (j *hashJoinOp) buildSide() error {
+	res, err := Collect(j.right, j.rSchema)
+	if err != nil {
+		return err
+	}
+	j.build = res
+	j.table = make(map[string][]int32, res.N)
+	var buf []byte
+	for i := 0; i < res.N; i++ {
+		buf = buf[:0]
+		null := false
+		for ki, k := range j.node.RKeys {
+			v := res.Value(i, k)
+			if v.Null {
+				null = true
+				break
+			}
+			buf = encodeValue(buf, promoteKey(v), j.keyColl(ki))
+		}
+		if null {
+			continue
+		}
+		j.table[string(buf)] = append(j.table[string(buf)], int32(i))
+	}
+	j.built = true
+	return nil
+}
+
+// promoteKey widens int-backed values to plain ints and keeps floats whole
+// so keys hash consistently across mixed numeric types.
+func promoteKey(v storage.Value) storage.Value {
+	if v.Null {
+		return v
+	}
+	switch {
+	case v.Type == storage.TFloat:
+		return v
+	case v.Type.IntBacked():
+		return storage.IntValue(v.I)
+	}
+	return v
+}
+
+func (j *hashJoinOp) Next() (*storage.Batch, error) {
+	if !j.built {
+		if err := j.buildSide(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		b, err := j.left.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		var lIdx, rIdx []int32
+		var unmatched []int32
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = buf[:0]
+			null := false
+			for ki, k := range j.node.LKeys {
+				v := b.Cols[k].Value(i)
+				if v.Null {
+					null = true
+					break
+				}
+				buf = encodeValue(buf, promoteKey(v), j.keyColl(ki))
+			}
+			var matches []int32
+			if !null {
+				matches = j.table[string(buf)]
+			}
+			if len(matches) == 0 {
+				if j.node.Kind == plan.JoinLeft {
+					unmatched = append(unmatched, int32(i))
+				}
+				continue
+			}
+			for _, m := range matches {
+				lIdx = append(lIdx, int32(i))
+				rIdx = append(rIdx, m)
+			}
+		}
+		if len(lIdx) == 0 && len(unmatched) == 0 {
+			continue
+		}
+		out := j.assemble(b, lIdx, rIdx, unmatched)
+		return out, nil
+	}
+}
+
+func (j *hashJoinOp) assemble(b *storage.Batch, lIdx, rIdx, unmatched []int32) *storage.Batch {
+	nOut := len(lIdx) + len(unmatched)
+	cols := make([]*storage.Vector, 0, len(j.lSchema)+len(j.rSchema))
+
+	// Left columns: matched rows then unmatched rows.
+	allL := lIdx
+	if len(unmatched) > 0 {
+		allL = append(append([]int32{}, lIdx...), unmatched...)
+	}
+	for _, v := range b.Cols {
+		cols = append(cols, v.Gather(allL))
+	}
+	// Right columns: matched build rows, then nulls for unmatched left rows.
+	for c, info := range j.rSchema {
+		v := j.build.Cols[c].Gather(rIdx)
+		if len(unmatched) > 0 {
+			full := storage.NewVector(info.Type, nOut)
+			for i := 0; i < len(rIdx); i++ {
+				full.Set(i, v.Value(i))
+			}
+			for i := len(rIdx); i < nOut; i++ {
+				full.SetNull(i)
+			}
+			v = full
+		}
+		cols = append(cols, v)
+	}
+	return storage.NewBatch(cols)
+}
+
+func (j *hashJoinOp) Close() {
+	j.left.Close()
+	j.right.Close()
+}

@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"context"
+	"sync"
+
+	"vizq/internal/tde/plan"
+	"vizq/internal/tde/storage"
+)
+
+// mergeExchangeOp is the order-preserving Exchange: each input is sorted on
+// the merge keys and runs in its own goroutine; the operator performs a
+// streaming k-way merge, so the output carries the same order without a
+// final sort (Sect. 4.2.1's order-preserving capability).
+type mergeExchangeOp struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	keys   []plan.SortKey
+	schema []plan.ColInfo
+
+	children []Operator
+	heads    []*mergeHead
+	started  bool
+	wg       sync.WaitGroup
+}
+
+type mergeHead struct {
+	ch    chan exchResult
+	batch *storage.Batch
+	pos   int
+	done  bool
+}
+
+func newMergeExchangeOp(ctx context.Context, children []Operator, keys []plan.SortKey, schema []plan.ColInfo) *mergeExchangeOp {
+	cctx, cancel := context.WithCancel(ctx)
+	m := &mergeExchangeOp{ctx: cctx, cancel: cancel, keys: keys, schema: schema, children: children}
+	m.heads = make([]*mergeHead, len(children))
+	for i := range m.heads {
+		m.heads[i] = &mergeHead{ch: make(chan exchResult, 2)}
+	}
+	return m
+}
+
+func (m *mergeExchangeOp) start() {
+	m.started = true
+	for i, c := range m.children {
+		m.wg.Add(1)
+		go func(op Operator, h *mergeHead) {
+			defer m.wg.Done()
+			defer close(h.ch)
+			for {
+				b, err := op.Next()
+				if err != nil {
+					select {
+					case h.ch <- exchResult{err: err}:
+					case <-m.ctx.Done():
+					}
+					return
+				}
+				if b == nil {
+					return
+				}
+				select {
+				case h.ch <- exchResult{batch: b}:
+				case <-m.ctx.Done():
+					return
+				}
+			}
+		}(c, m.heads[i])
+	}
+}
+
+// refill ensures head i has a current row or is marked done.
+func (m *mergeExchangeOp) refill(i int) error {
+	h := m.heads[i]
+	for !h.done && (h.batch == nil || h.pos >= h.batch.N) {
+		select {
+		case r, ok := <-h.ch:
+			if !ok {
+				h.done = true
+				return nil
+			}
+			if r.err != nil {
+				return r.err
+			}
+			h.batch = r.batch
+			h.pos = 0
+		case <-m.ctx.Done():
+			return m.ctx.Err()
+		}
+	}
+	return nil
+}
+
+func (m *mergeExchangeOp) less(a, b *mergeHead) bool {
+	for _, k := range m.keys {
+		av := a.batch.Cols[k.Col].Value(a.pos)
+		bv := b.batch.Cols[k.Col].Value(b.pos)
+		c := storage.Compare(av, bv, m.schema[k.Col].Coll)
+		if c != 0 {
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+	}
+	return false
+}
+
+func (m *mergeExchangeOp) Next() (*storage.Batch, error) {
+	if !m.started {
+		m.start()
+	}
+	out := NewResult(m.schema)
+	for out.N < storage.BatchSize {
+		best := -1
+		for i := range m.heads {
+			if err := m.refill(i); err != nil {
+				return nil, err
+			}
+			h := m.heads[i]
+			if h.done || h.batch == nil || h.pos >= h.batch.N {
+				continue
+			}
+			if best < 0 || m.less(h, m.heads[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break // all inputs drained
+		}
+		h := m.heads[best]
+		out.AppendRow(h.batch.Row(h.pos))
+		h.pos++
+	}
+	if out.N == 0 {
+		return nil, nil
+	}
+	return storage.NewBatch(out.Cols), nil
+}
+
+func (m *mergeExchangeOp) Close() {
+	m.cancel()
+	if m.started {
+		m.wg.Wait()
+	}
+	for _, c := range m.children {
+		c.Close()
+	}
+}

@@ -1,0 +1,575 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vizq/internal/tde/plan"
+	"vizq/internal/tde/storage"
+)
+
+// Operator is a Volcano iterator producing row batches. Next returns nil at
+// end of stream. Close releases resources and must be called exactly once.
+type Operator interface {
+	Next() (*storage.Batch, error)
+	Close()
+}
+
+// Build compiles a plan tree into an operator tree.
+func Build(ctx context.Context, n plan.Node) (Operator, error) {
+	b := &builder{ctx: ctx, shared: map[*plan.Shared]*sharedState{}}
+	return b.build(n)
+}
+
+// Run executes a plan and materializes its full result.
+func Run(ctx context.Context, n plan.Node) (*Result, error) {
+	op, err := Build(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	return Collect(op, n.Schema())
+}
+
+// Collect drains an operator into a Result.
+func Collect(op Operator, schema []plan.ColInfo) (*Result, error) {
+	res := NewResult(schema)
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return res, nil
+		}
+		res.AppendBatch(b)
+	}
+}
+
+type builder struct {
+	ctx    context.Context
+	shared map[*plan.Shared]*sharedState
+}
+
+func (bd *builder) build(n plan.Node) (Operator, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return newScanOp(bd.ctx, x), nil
+	case *plan.Filter:
+		child, err := bd.build(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &filterOp{child: child, pred: x.Pred}, nil
+	case *plan.Project:
+		child, err := bd.build(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &projectOp{child: child, exprs: x.Exprs}, nil
+	case *plan.Join:
+		left, err := bd.build(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := bd.build(x.Right)
+		if err != nil {
+			left.Close()
+			return nil, err
+		}
+		return &hashJoinOp{
+			node: x, left: left, right: right,
+			lSchema: x.Left.Schema(), rSchema: x.Right.Schema(),
+		}, nil
+	case *plan.Aggregate:
+		child, err := bd.build(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		common := aggCommon{node: x, schema: x.Child.Schema()}
+		if x.Streaming {
+			return &streamAggOp{aggCommon: common, child: child}, nil
+		}
+		return &hashAggOp{aggCommon: common, child: child}, nil
+	case *plan.Sort:
+		child, err := bd.build(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &sortOp{child: child, keys: x.Keys, schema: x.Child.Schema()}, nil
+	case *plan.TopN:
+		child, err := bd.build(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &topNOp{child: child, n: x.N, keys: x.Keys, schema: x.Child.Schema()}, nil
+	case *plan.Limit:
+		child, err := bd.build(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{child: child, remain: x.N}, nil
+	case *plan.Exchange:
+		ops := make([]Operator, len(x.Inputs))
+		for i, in := range x.Inputs {
+			op, err := bd.build(in)
+			if err != nil {
+				for _, o := range ops[:i] {
+					o.Close()
+				}
+				return nil, err
+			}
+			ops[i] = op
+		}
+		if len(x.MergeKeys) > 0 {
+			return newMergeExchangeOp(bd.ctx, ops, x.MergeKeys, x.Schema()), nil
+		}
+		return newExchangeOp(bd.ctx, ops), nil
+	case *plan.Shared:
+		st := bd.shared[x]
+		if st == nil {
+			st = &sharedState{}
+			bd.shared[x] = st
+		}
+		return &sharedOp{ctx: bd.ctx, node: x, state: st, builder: bd}, nil
+	}
+	return nil, fmt.Errorf("exec: no operator for %T", n)
+}
+
+// ---- scan ----
+
+type scanOp struct {
+	ctx     context.Context
+	node    *plan.Scan
+	ranges  []plan.RowRange
+	ri      int   // current range
+	pos     int64 // next row within current range
+	ioDelay time.Duration
+}
+
+func newScanOp(ctx context.Context, s *plan.Scan) *scanOp {
+	rows := s.Table.Rows
+	ranges := s.Ranges
+	if ranges == nil {
+		ranges = []plan.RowRange{{From: 0, To: rows}}
+	}
+	if s.Part.Count > 1 {
+		ranges = partitionRanges(ranges, s.Part)
+	}
+	op := &scanOp{ctx: ctx, node: s, ranges: ranges, ioDelay: ConfigFrom(ctx).ScanBatchDelay}
+	if len(ranges) > 0 {
+		op.pos = ranges[0].From
+	}
+	return op
+}
+
+// partitionRanges splits the scan's row ranges into Count fractions and
+// returns the slice owned by fraction Index, splitting by total row volume.
+func partitionRanges(ranges []plan.RowRange, p plan.Partition) []plan.RowRange {
+	var total int64
+	for _, r := range ranges {
+		total += r.To - r.From
+	}
+	lo := total * int64(p.Index) / int64(p.Count)
+	hi := total * int64(p.Index+1) / int64(p.Count)
+	var out []plan.RowRange
+	var off int64
+	for _, r := range ranges {
+		n := r.To - r.From
+		start, end := off, off+n
+		from, to := maxI64(lo, start), minI64(hi, end)
+		if from < to {
+			out = append(out, plan.RowRange{From: r.From + from - start, To: r.From + to - start})
+		}
+		off = end
+	}
+	return out
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (s *scanOp) Next() (*storage.Batch, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	for s.ri < len(s.ranges) {
+		r := s.ranges[s.ri]
+		if s.pos >= r.To {
+			s.ri++
+			if s.ri < len(s.ranges) {
+				s.pos = s.ranges[s.ri].From
+			}
+			continue
+		}
+		to := s.pos + storage.BatchSize
+		if to > r.To {
+			to = r.To
+		}
+		if s.ioDelay > 0 {
+			time.Sleep(s.ioDelay) // simulated block read (see Config)
+		}
+		cols := make([]*storage.Vector, len(s.node.ColIdxs))
+		for i, ci := range s.node.ColIdxs {
+			cols[i] = s.node.Table.Cols[ci].ScanRange(int(s.pos), int(to))
+		}
+		s.pos = to
+		return storage.NewBatch(cols), nil
+	}
+	return nil, nil
+}
+
+func (s *scanOp) Close() {}
+
+// ---- filter ----
+
+type filterOp struct {
+	child Operator
+	pred  plan.Expr
+}
+
+func (f *filterOp) Next() (*storage.Batch, error) {
+	for {
+		b, err := f.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		keep, err := EvalExpr(f.pred, b)
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int32, 0, b.N)
+		for i := 0; i < b.N; i++ {
+			if keep.I[i] != 0 && !keep.IsNull(i) {
+				idx = append(idx, int32(i))
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		if len(idx) == b.N {
+			return b, nil
+		}
+		cols := make([]*storage.Vector, len(b.Cols))
+		for c, v := range b.Cols {
+			cols[c] = v.Gather(idx)
+		}
+		return storage.NewBatch(cols), nil
+	}
+}
+
+func (f *filterOp) Close() { f.child.Close() }
+
+// ---- project ----
+
+type projectOp struct {
+	child Operator
+	exprs []plan.Expr
+}
+
+func (p *projectOp) Next() (*storage.Batch, error) {
+	b, err := p.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	cols := make([]*storage.Vector, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := EvalExpr(e, b)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = v
+	}
+	return storage.NewBatch(cols), nil
+}
+
+func (p *projectOp) Close() { p.child.Close() }
+
+// ---- limit ----
+
+type limitOp struct {
+	child  Operator
+	remain int
+}
+
+func (l *limitOp) Next() (*storage.Batch, error) {
+	if l.remain <= 0 {
+		return nil, nil
+	}
+	b, err := l.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if b.N > l.remain {
+		cols := make([]*storage.Vector, len(b.Cols))
+		for i, v := range b.Cols {
+			cols[i] = v.Slice(0, l.remain)
+		}
+		b = storage.NewBatch(cols)
+	}
+	l.remain -= b.N
+	return b, nil
+}
+
+func (l *limitOp) Close() { l.child.Close() }
+
+// ---- exchange ----
+
+type exchResult struct {
+	batch *storage.Batch
+	err   error
+}
+
+// exchangeOp merges N child streams into one. Each child runs in its own
+// goroutine; output order across children is arbitrary (the Tableau 9.0
+// Exchange is not order-preserving).
+type exchangeOp struct {
+	cancel  context.CancelFunc
+	ch      chan exchResult
+	wg      sync.WaitGroup
+	started bool
+	childs  []Operator
+	ctx     context.Context
+}
+
+func newExchangeOp(ctx context.Context, childs []Operator) *exchangeOp {
+	cctx, cancel := context.WithCancel(ctx)
+	return &exchangeOp{ctx: cctx, cancel: cancel, childs: childs,
+		ch: make(chan exchResult, len(childs))}
+}
+
+func (e *exchangeOp) start() {
+	e.started = true
+	for _, c := range e.childs {
+		e.wg.Add(1)
+		go func(op Operator) {
+			defer e.wg.Done()
+			for {
+				b, err := op.Next()
+				if err != nil {
+					select {
+					case e.ch <- exchResult{err: err}:
+					case <-e.ctx.Done():
+					}
+					return
+				}
+				if b == nil {
+					return
+				}
+				select {
+				case e.ch <- exchResult{batch: b}:
+				case <-e.ctx.Done():
+					return
+				}
+			}
+		}(c)
+	}
+	go func() {
+		e.wg.Wait()
+		close(e.ch)
+	}()
+}
+
+func (e *exchangeOp) Next() (*storage.Batch, error) {
+	if !e.started {
+		e.start()
+	}
+	select {
+	case r, ok := <-e.ch:
+		if !ok {
+			return nil, nil
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		return r.batch, nil
+	case <-e.ctx.Done():
+		return nil, e.ctx.Err()
+	}
+}
+
+func (e *exchangeOp) Close() {
+	e.cancel()
+	if e.started {
+		e.wg.Wait()
+	}
+	for _, c := range e.childs {
+		c.Close()
+	}
+}
+
+// ---- shared table ----
+
+// sharedState materializes a subtree once and serves it to every referencing
+// clone (SharedTable, Sect. 4.2.1: "share access to a table across multiple
+// threads and handle synchronization").
+type sharedState struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+type sharedOp struct {
+	ctx     context.Context
+	node    *plan.Shared
+	state   *sharedState
+	builder *builder
+	pos     int
+}
+
+func (s *sharedOp) materialize() {
+	// Build a private operator tree for the shared child; only one clone's
+	// goroutine executes this (sync.Once).
+	op, err := Build(s.ctx, s.node.Child)
+	if err != nil {
+		s.state.err = err
+		return
+	}
+	defer op.Close()
+	s.state.res, s.state.err = Collect(op, s.node.Child.Schema())
+}
+
+func (s *sharedOp) Next() (*storage.Batch, error) {
+	s.state.once.Do(s.materialize)
+	if s.state.err != nil {
+		return nil, s.state.err
+	}
+	res := s.state.res
+	if s.pos >= res.N {
+		return nil, nil
+	}
+	to := s.pos + storage.BatchSize
+	if to > res.N {
+		to = res.N
+	}
+	cols := make([]*storage.Vector, len(res.Cols))
+	for i, v := range res.Cols {
+		cols[i] = v.Slice(s.pos, to)
+	}
+	s.pos = to
+	return storage.NewBatch(cols), nil
+}
+
+func (s *sharedOp) Close() {}
+
+// ---- sort ----
+
+type sortOp struct {
+	child  Operator
+	keys   []plan.SortKey
+	schema []plan.ColInfo
+	out    *Result
+	pos    int
+	done   bool
+}
+
+func (s *sortOp) Next() (*storage.Batch, error) {
+	if !s.done {
+		res, err := Collect(s.child, s.schema)
+		if err != nil {
+			return nil, err
+		}
+		sortResult(res, s.keys, s.schema)
+		s.out = res
+		s.done = true
+	}
+	if s.pos >= s.out.N {
+		return nil, nil
+	}
+	to := s.pos + storage.BatchSize
+	if to > s.out.N {
+		to = s.out.N
+	}
+	cols := make([]*storage.Vector, len(s.out.Cols))
+	for i, v := range s.out.Cols {
+		cols[i] = v.Slice(s.pos, to)
+	}
+	s.pos = to
+	return storage.NewBatch(cols), nil
+}
+
+func (s *sortOp) Close() { s.child.Close() }
+
+// sortResult orders the result rows in place by the sort keys.
+func sortResult(res *Result, keys []plan.SortKey, schema []plan.ColInfo) {
+	idx := make([]int32, res.N)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return compareRows(res, int(idx[a]), int(idx[b]), keys, schema) < 0
+	})
+	for c, v := range res.Cols {
+		res.Cols[c] = v.Gather(idx)
+	}
+}
+
+func compareRows(res *Result, a, b int, keys []plan.SortKey, schema []plan.ColInfo) int {
+	for _, k := range keys {
+		av, bv := res.Cols[k.Col].Value(a), res.Cols[k.Col].Value(b)
+		c := storage.Compare(av, bv, schema[k.Col].Coll)
+		if c != 0 {
+			if k.Desc {
+				return -c
+			}
+			return c
+		}
+	}
+	return 0
+}
+
+// ---- top-n ----
+
+type topNOp struct {
+	child  Operator
+	n      int
+	keys   []plan.SortKey
+	schema []plan.ColInfo
+	out    *Result
+	pos    int
+	done   bool
+}
+
+func (t *topNOp) Next() (*storage.Batch, error) {
+	if !t.done {
+		res, err := Collect(t.child, t.schema)
+		if err != nil {
+			return nil, err
+		}
+		sortResult(res, t.keys, t.schema)
+		if res.N > t.n {
+			res.Truncate(t.n)
+		}
+		t.out = res
+		t.done = true
+	}
+	if t.pos >= t.out.N {
+		return nil, nil
+	}
+	to := t.pos + storage.BatchSize
+	if to > t.out.N {
+		to = t.out.N
+	}
+	cols := make([]*storage.Vector, len(t.out.Cols))
+	for i, v := range t.out.Cols {
+		cols[i] = v.Slice(t.pos, to)
+	}
+	t.pos = to
+	return storage.NewBatch(cols), nil
+}
+
+func (t *topNOp) Close() { t.child.Close() }

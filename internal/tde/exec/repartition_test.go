@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"vizq/internal/tde/plan"
+	"vizq/internal/tde/storage"
+)
+
+func TestRepartitionCoversAndSeparates(t *testing.T) {
+	// 2 inputs (table fractions) -> 3 outputs hash-partitioned on the key.
+	n := 5000
+	keys := make([]storage.Value, n)
+	vals := make([]storage.Value, n)
+	for i := 0; i < n; i++ {
+		keys[i] = storage.IntValue(int64(i % 97))
+		vals[i] = storage.IntValue(int64(i))
+	}
+	tbl := mkTable(t, "t", map[string][]storage.Value{"k": keys, "v": vals}, []string{"k", "v"})
+	schema := scanAll(tbl).Schema()
+
+	ctx := context.Background()
+	inputs := make([]Operator, 2)
+	for i := range inputs {
+		s := scanAll(tbl)
+		s.Part = plan.Partition{Index: i, Count: 2}
+		inputs[i] = newScanOp(ctx, s)
+	}
+	const m = 3
+	outs := NewRepartition(ctx, inputs, m, []int{0}, schema)
+
+	type part struct {
+		rows int
+		keys map[int64]bool
+		sum  int64
+	}
+	parts := make([]part, m)
+	var wg sync.WaitGroup
+	errs := make([]error, m)
+	for p := range outs {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer outs[p].Close()
+			parts[p].keys = map[int64]bool{}
+			for {
+				b, err := outs[p].Next()
+				if err != nil {
+					errs[p] = err
+					return
+				}
+				if b == nil {
+					return
+				}
+				for i := 0; i < b.N; i++ {
+					parts[p].rows++
+					parts[p].keys[b.Cols[0].Value(i).I] = true
+					parts[p].sum += b.Cols[1].Value(i).I
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("partition %d: %v", p, err)
+		}
+	}
+
+	total, sum := 0, int64(0)
+	for _, p := range parts {
+		total += p.rows
+		sum += p.sum
+	}
+	if total != n {
+		t.Fatalf("rows lost: %d/%d", total, n)
+	}
+	if want := int64(n) * int64(n-1) / 2; sum != want {
+		t.Fatalf("value sum = %d, want %d", sum, want)
+	}
+	// Disjoint key ownership: each key value lands in exactly one partition.
+	owner := map[int64]int{}
+	for pi, p := range parts {
+		for k := range p.keys {
+			if prev, ok := owner[k]; ok && prev != pi {
+				t.Fatalf("key %d appears in partitions %d and %d", k, prev, pi)
+			}
+			owner[k] = pi
+		}
+	}
+	if len(owner) != 97 {
+		t.Errorf("distinct keys = %d", len(owner))
+	}
+	// Reasonable balance: no partition owns everything.
+	for pi, p := range parts {
+		if p.rows == 0 || p.rows == n {
+			t.Errorf("partition %d degenerate with %d rows", pi, p.rows)
+		}
+	}
+}
+
+func TestRepartitionEarlyClose(t *testing.T) {
+	big := make([]storage.Value, 50_000)
+	for i := range big {
+		big[i] = storage.IntValue(int64(i))
+	}
+	tbl := mkTable(t, "t", map[string][]storage.Value{"k": big}, []string{"k"})
+	ctx := context.Background()
+	outs := NewRepartition(ctx, []Operator{newScanOp(ctx, scanAll(tbl))}, 2, []int{0}, scanAll(tbl).Schema())
+	// Read one batch from output 0 then close everything; must not deadlock.
+	if _, err := outs[0].Next(); err != nil {
+		t.Fatal(err)
+	}
+	outs[0].Close()
+	outs[1].Close()
+}

@@ -1,0 +1,225 @@
+package opt
+
+import (
+	"vizq/internal/tde/exec"
+	"vizq/internal/tde/plan"
+	"vizq/internal/tde/storage"
+)
+
+// foldExpr performs constant folding and boolean simplification, the
+// predicate-simplification half of the compiler's structural rewrites.
+func foldExpr(e plan.Expr) plan.Expr {
+	return plan.Rewrite(e, func(x plan.Expr) plan.Expr {
+		if lit := tryFold(x); lit != nil {
+			return lit
+		}
+		if l, ok := x.(*plan.Logic); ok {
+			return simplifyLogic(l)
+		}
+		if f, ok := x.(*plan.If); ok {
+			if c, ok := f.Cond.(*plan.Lit); ok {
+				if c.Val.Bool() {
+					return f.Then
+				}
+				return f.Else
+			}
+		}
+		return x
+	})
+}
+
+// tryFold evaluates an expression whose inputs are all literals.
+func tryFold(x plan.Expr) plan.Expr {
+	if _, ok := x.(*plan.Lit); ok {
+		return nil
+	}
+	for _, c := range plan.Children(x) {
+		if _, ok := c.(*plan.Lit); !ok {
+			return nil
+		}
+	}
+	switch x.(type) {
+	case *plan.Cmp, *plan.Arith, *plan.IsNull, *plan.InList, *plan.Call:
+		one := &storage.Batch{N: 1}
+		v, err := exec.EvalExpr(x, one)
+		if err != nil {
+			return nil
+		}
+		return &plan.Lit{Val: v.Value(0)}
+	}
+	return nil
+}
+
+func simplifyLogic(l *plan.Logic) plan.Expr {
+	switch l.Op {
+	case plan.LogicNot:
+		if lit, ok := l.Args[0].(*plan.Lit); ok {
+			if lit.Val.Null {
+				return &plan.Lit{Val: storage.NullValue(storage.TBool)}
+			}
+			return &plan.Lit{Val: storage.BoolValue(!lit.Val.Bool())}
+		}
+		// Double negation.
+		if inner, ok := l.Args[0].(*plan.Logic); ok && inner.Op == plan.LogicNot {
+			return inner.Args[0]
+		}
+		// Push negation into comparisons: not(a < b) => a >= b.
+		if cmp, ok := l.Args[0].(*plan.Cmp); ok {
+			return &plan.Cmp{Op: cmp.Op.Negate(), L: cmp.L, R: cmp.R, Coll: cmp.Coll}
+		}
+		return l
+	case plan.LogicAnd:
+		var keep []plan.Expr
+		for _, a := range l.Args {
+			if lit, ok := a.(*plan.Lit); ok {
+				if !lit.Val.Bool() {
+					return &plan.Lit{Val: storage.BoolValue(false)}
+				}
+				continue // drop true
+			}
+			keep = append(keep, a)
+		}
+		switch len(keep) {
+		case 0:
+			return &plan.Lit{Val: storage.BoolValue(true)}
+		case 1:
+			return keep[0]
+		}
+		return &plan.Logic{Op: plan.LogicAnd, Args: keep}
+	default: // LogicOr
+		var keep []plan.Expr
+		for _, a := range l.Args {
+			if lit, ok := a.(*plan.Lit); ok {
+				if lit.Val.Bool() {
+					return &plan.Lit{Val: storage.BoolValue(true)}
+				}
+				continue // drop false
+			}
+			keep = append(keep, a)
+		}
+		switch len(keep) {
+		case 0:
+			return &plan.Lit{Val: storage.BoolValue(false)}
+		case 1:
+			return keep[0]
+		}
+		return &plan.Logic{Op: plan.LogicOr, Args: keep}
+	}
+}
+
+// domainSimplify removes conjuncts that the scanned column domains prove
+// always true, and detects contradictions, using the column min/max
+// statistics ("predicate simplification based on domains", Sect. 3.2).
+// The predicate must sit directly above the scan that owns the columns.
+func domainSimplify(pred plan.Expr, scan *plan.Scan) plan.Expr {
+	conjuncts := plan.AndSplit(pred)
+	var keep []plan.Expr
+	for _, c := range conjuncts {
+		switch classifyByDomain(c, scan) {
+		case domainAlwaysTrue:
+			continue
+		case domainAlwaysFalse:
+			return &plan.Lit{Val: storage.BoolValue(false)}
+		}
+		keep = append(keep, c)
+	}
+	out := plan.AndJoin(keep)
+	if out == nil {
+		return &plan.Lit{Val: storage.BoolValue(true)}
+	}
+	return out
+}
+
+type domainClass uint8
+
+const (
+	domainUnknown domainClass = iota
+	domainAlwaysTrue
+	domainAlwaysFalse
+)
+
+func classifyByDomain(e plan.Expr, scan *plan.Scan) domainClass {
+	cmp, ok := e.(*plan.Cmp)
+	if !ok {
+		return domainUnknown
+	}
+	col, lit, op := cmp.L, cmp.R, cmp.Op
+	cr, ok := col.(*plan.ColRef)
+	if !ok {
+		cr, ok = lit.(*plan.ColRef)
+		if !ok {
+			return domainUnknown
+		}
+		col, lit = cmp.R, cmp.L
+		op = flipForDomain(op)
+	}
+	l, ok := lit.(*plan.Lit)
+	if !ok || l.Val.Null {
+		return domainUnknown
+	}
+	stats := scan.Table.Cols[scan.ColIdxs[cr.Idx]].Stats
+	if stats.Min.Type == storage.TNull && stats.Min.Null {
+		return domainUnknown // no stats (all-null or empty column)
+	}
+	coll := cmp.Coll
+	cMin := storage.Compare(stats.Min, l.Val, coll) // min vs literal
+	cMax := storage.Compare(stats.Max, l.Val, coll)
+	hasNulls := stats.Nulls > 0
+
+	alwaysTrue := func(cond bool) domainClass {
+		// Always-true elimination is only sound without nulls: the null rows
+		// would otherwise be filtered out by the comparison.
+		if cond && !hasNulls {
+			return domainAlwaysTrue
+		}
+		return domainUnknown
+	}
+	switch op {
+	case plan.CmpLt:
+		if cMin >= 0 { // min >= v: col < v never holds
+			return domainAlwaysFalse
+		}
+		return alwaysTrue(cMax < 0)
+	case plan.CmpLe:
+		if cMin > 0 {
+			return domainAlwaysFalse
+		}
+		return alwaysTrue(cMax <= 0)
+	case plan.CmpGt:
+		if cMax <= 0 {
+			return domainAlwaysFalse
+		}
+		return alwaysTrue(cMin > 0)
+	case plan.CmpGe:
+		if cMax < 0 {
+			return domainAlwaysFalse
+		}
+		return alwaysTrue(cMin >= 0)
+	case plan.CmpEq:
+		if cMin > 0 || cMax < 0 {
+			return domainAlwaysFalse
+		}
+		return alwaysTrue(cMin == 0 && cMax == 0 && stats.Distinct == 1)
+	case plan.CmpNe:
+		if cMin == 0 && cMax == 0 && stats.Distinct == 1 {
+			return domainAlwaysFalse
+		}
+		return alwaysTrue(cMin > 0 || cMax < 0)
+	}
+	return domainUnknown
+}
+
+// flipForDomain mirrors the comparison when the column is on the right side.
+func flipForDomain(op plan.CmpOp) plan.CmpOp {
+	switch op {
+	case plan.CmpLt:
+		return plan.CmpGt
+	case plan.CmpLe:
+		return plan.CmpGe
+	case plan.CmpGt:
+		return plan.CmpLt
+	case plan.CmpGe:
+		return plan.CmpLe
+	}
+	return op
+}

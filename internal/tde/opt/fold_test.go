@@ -1,0 +1,148 @@
+package opt
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vizq/internal/tde/exec"
+	"vizq/internal/tde/plan"
+	"vizq/internal/tde/storage"
+)
+
+// TestFoldExprEquivalenceRandom checks the constant folder against direct
+// evaluation: for random constant expressions, foldExpr must produce a
+// literal with the same value the evaluator computes.
+func TestFoldExprEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lit := func() plan.Expr {
+		switch rng.Intn(3) {
+		case 0:
+			return &plan.Lit{Val: storage.IntValue(int64(rng.Intn(21) - 10))}
+		case 1:
+			return &plan.Lit{Val: storage.FloatValue(float64(rng.Intn(100)) / 4)}
+		default:
+			return &plan.Lit{Val: storage.BoolValue(rng.Intn(2) == 0)}
+		}
+	}
+	var build func(depth int) plan.Expr
+	build = func(depth int) plan.Expr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return lit()
+		}
+		switch rng.Intn(4) {
+		case 0:
+			l, r := numeric(build(depth-1)), numeric(build(depth-1))
+			return &plan.Arith{Op: plan.ArithOp(rng.Intn(4)), L: l, R: r, Typ: promoteTyp(l, r)}
+		case 1:
+			l, r := numeric(build(depth-1)), numeric(build(depth-1))
+			return &plan.Cmp{Op: plan.CmpOp(rng.Intn(6)), L: l, R: r}
+		case 2:
+			return &plan.Logic{Op: plan.LogicAnd, Args: []plan.Expr{boolean(build(depth - 1)), boolean(build(depth - 1))}}
+		default:
+			return &plan.IsNull{E: build(depth - 1)}
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		e := build(3)
+		folded := foldExpr(e)
+		if _, ok := folded.(*plan.Lit); !ok {
+			t.Fatalf("trial %d: %s did not fold to a literal (got %s)", trial, e, folded)
+		}
+		one := &storage.Batch{N: 1}
+		want, err := exec.EvalExpr(e, one)
+		if err != nil {
+			continue // type mismatches the generator produced are fine
+		}
+		got, err := exec.EvalExpr(folded, one)
+		if err != nil {
+			t.Fatalf("trial %d: folded eval failed: %v", trial, err)
+		}
+		a, b := want.Value(0), got.Value(0)
+		if a.Null != b.Null || (!a.Null && storage.Compare(a, b, storage.CollBinary) != 0) {
+			t.Fatalf("trial %d: %s folds to %v, eval gives %v", trial, e, b, a)
+		}
+	}
+}
+
+func numeric(e plan.Expr) plan.Expr {
+	if e.Type().Numeric() {
+		return e
+	}
+	return &plan.Lit{Val: storage.IntValue(1)}
+}
+
+func boolean(e plan.Expr) plan.Expr {
+	if e.Type() == storage.TBool {
+		return e
+	}
+	return &plan.Lit{Val: storage.BoolValue(true)}
+}
+
+func promoteTyp(l, r plan.Expr) storage.Type {
+	t, err := storage.Promote(l.Type(), r.Type())
+	if err != nil {
+		return storage.TInt
+	}
+	if t == storage.TBool {
+		return storage.TInt
+	}
+	return t
+}
+
+func TestSimplifyLogicIdentities(t *testing.T) {
+	colRef := &plan.ColRef{Name: "b", Idx: 0, Typ: storage.TBool}
+	tru := &plan.Lit{Val: storage.BoolValue(true)}
+	fls := &plan.Lit{Val: storage.BoolValue(false)}
+
+	// x AND true => x
+	got := foldExpr(&plan.Logic{Op: plan.LogicAnd, Args: []plan.Expr{colRef, tru}})
+	if got.String() != "b" {
+		t.Errorf("x and true = %s", got)
+	}
+	// x AND false => false
+	got = foldExpr(&plan.Logic{Op: plan.LogicAnd, Args: []plan.Expr{colRef, fls}})
+	if lit, ok := got.(*plan.Lit); !ok || lit.Val.Bool() {
+		t.Errorf("x and false = %s", got)
+	}
+	// x OR true => true
+	got = foldExpr(&plan.Logic{Op: plan.LogicOr, Args: []plan.Expr{colRef, tru}})
+	if lit, ok := got.(*plan.Lit); !ok || !lit.Val.Bool() {
+		t.Errorf("x or true = %s", got)
+	}
+	// NOT NOT x => x
+	got = foldExpr(&plan.Logic{Op: plan.LogicNot, Args: []plan.Expr{
+		&plan.Logic{Op: plan.LogicNot, Args: []plan.Expr{colRef}}}})
+	if got.String() != "b" {
+		t.Errorf("not not x = %s", got)
+	}
+	// NOT (a < b) => a >= b
+	cmp := &plan.Cmp{Op: plan.CmpLt,
+		L: &plan.ColRef{Name: "x", Idx: 0, Typ: storage.TInt},
+		R: &plan.Lit{Val: storage.IntValue(5)}}
+	got = foldExpr(&plan.Logic{Op: plan.LogicNot, Args: []plan.Expr{cmp}})
+	if got.String() != "(>= x 5)" {
+		t.Errorf("negated compare = %s", got)
+	}
+}
+
+// TestFoldInsidePlans verifies fold runs through Filter and Project nodes
+// and that folded plans still execute.
+func TestFoldInsidePlans(t *testing.T) {
+	n := compile(t, `(project (select (table flights) (and (> distance (+ 200 300)) true))
+		(m market) (k (* 2 3)))`)
+	o := DefaultOptions()
+	o.MaxDOP = 1
+	folded := Logical(n, o)
+	got := plan.Format(folded)
+	if !strings.Contains(got, "(> distance 500)") {
+		t.Errorf("arith inside predicate should fold:\n%s", got)
+	}
+	if !strings.Contains(got, "k=6") {
+		t.Errorf("projection constant should fold:\n%s", got)
+	}
+	if _, err := exec.Run(context.Background(), folded); err != nil {
+		t.Fatal(err)
+	}
+}

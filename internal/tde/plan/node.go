@@ -1,0 +1,489 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"vizq/internal/tde/storage"
+)
+
+// ColInfo describes one column of an operator's output schema.
+type ColInfo struct {
+	Name string
+	Type storage.Type
+	Coll storage.Collation
+}
+
+// Node is a logical/physical operator. The same tree form is produced by the
+// compiler, rewritten by the optimizer (including parallelization) and
+// interpreted by the executor, mirroring the TDE's uniform operator view.
+type Node interface {
+	// Schema returns the output columns.
+	Schema() []ColInfo
+	// Children returns the input operators.
+	Children() []Node
+	// WithChildren returns a shallow copy with the inputs replaced.
+	WithChildren(ch []Node) Node
+	// Label renders the operator (without children) for plan printing.
+	Label() string
+}
+
+// RowRange is a half-open physical row interval [From, To).
+type RowRange struct {
+	From, To int64
+}
+
+// Partition identifies one fraction of a partitioned table scan: part Index
+// of Count. Count == 0 means the scan is unpartitioned.
+type Partition struct {
+	Index, Count int
+}
+
+// Scan reads a table, projecting the columns in ColIdxs. Ranges restricts
+// the scan to specific row intervals (the product of the RLE IndexTable
+// rewrite, Sect. 4.3); Part selects one fraction for parallel scans
+// (the FractionTable of Sect. 4.2.1). IndexNote documents the rewrite that
+// produced Ranges for plan display.
+type Scan struct {
+	Table     *storage.Table
+	ColIdxs   []int
+	Ranges    []RowRange
+	Part      Partition
+	IndexNote string
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() []ColInfo {
+	out := make([]ColInfo, len(s.ColIdxs))
+	for i, ci := range s.ColIdxs {
+		c := s.Table.Cols[ci]
+		out[i] = ColInfo{Name: c.Name, Type: c.Type, Coll: c.Coll}
+	}
+	return out
+}
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// WithChildren implements Node.
+func (s *Scan) WithChildren(ch []Node) Node {
+	c := *s
+	return &c
+}
+
+// Label implements Node.
+func (s *Scan) Label() string {
+	cols := make([]string, len(s.ColIdxs))
+	for i, ci := range s.ColIdxs {
+		cols[i] = s.Table.Cols[ci].Name
+	}
+	l := fmt.Sprintf("scan %s [%s]", s.Table.QualifiedName(), strings.Join(cols, " "))
+	if s.IndexNote != "" {
+		l += " " + s.IndexNote
+	}
+	if s.Part.Count > 0 {
+		l += fmt.Sprintf(" part %d/%d", s.Part.Index, s.Part.Count)
+	}
+	return l
+}
+
+// Filter keeps rows where Pred evaluates to true.
+type Filter struct {
+	Child Node
+	Pred  Expr
+}
+
+// Schema implements Node.
+func (f *Filter) Schema() []ColInfo { return f.Child.Schema() }
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.Child} }
+
+// WithChildren implements Node.
+func (f *Filter) WithChildren(ch []Node) Node { return &Filter{Child: ch[0], Pred: f.Pred} }
+
+// Label implements Node.
+func (f *Filter) Label() string { return "select " + f.Pred.String() }
+
+// Project computes output expressions over the child rows.
+type Project struct {
+	Child Node
+	Exprs []Expr
+	Names []string
+}
+
+// Schema implements Node.
+func (p *Project) Schema() []ColInfo {
+	child := p.Child.Schema()
+	out := make([]ColInfo, len(p.Exprs))
+	for i, e := range p.Exprs {
+		coll := storage.CollBinary
+		if c, ok := e.(*ColRef); ok {
+			coll = child[c.Idx].Coll
+		}
+		out[i] = ColInfo{Name: p.Names[i], Type: e.Type(), Coll: coll}
+	}
+	return out
+}
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Child} }
+
+// WithChildren implements Node.
+func (p *Project) WithChildren(ch []Node) Node {
+	return &Project{Child: ch[0], Exprs: p.Exprs, Names: p.Names}
+}
+
+// Label implements Node.
+func (p *Project) Label() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = fmt.Sprintf("%s=%s", p.Names[i], e)
+	}
+	return "project " + strings.Join(parts, " ")
+}
+
+// JoinKind distinguishes join semantics.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+)
+
+// String names the join kind.
+func (k JoinKind) String() string {
+	if k == JoinLeft {
+		return "left"
+	}
+	return "inner"
+}
+
+// Join is an equi-join. The engine builds a hash table from the right input
+// and probes with the left (Sect. 4.2.2: fact table leftmost in a left-deep
+// tree). Output schema is left columns followed by right columns.
+type Join struct {
+	Left, Right Node
+	Kind        JoinKind
+	LKeys       []int // ordinals into Left schema
+	RKeys       []int // ordinals into Right schema
+}
+
+// Schema implements Node.
+func (j *Join) Schema() []ColInfo {
+	return append(append([]ColInfo{}, j.Left.Schema()...), j.Right.Schema()...)
+}
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+
+// WithChildren implements Node.
+func (j *Join) WithChildren(ch []Node) Node {
+	return &Join{Left: ch[0], Right: ch[1], Kind: j.Kind, LKeys: j.LKeys, RKeys: j.RKeys}
+}
+
+// Label implements Node.
+func (j *Join) Label() string {
+	ls, rs := j.Left.Schema(), j.Right.Schema()
+	keys := make([]string, len(j.LKeys))
+	for i := range j.LKeys {
+		keys[i] = fmt.Sprintf("%s=%s", ls[j.LKeys[i]].Name, rs[j.RKeys[i]].Name)
+	}
+	return fmt.Sprintf("join %s (%s)", j.Kind, strings.Join(keys, " "))
+}
+
+// AggFn is an aggregate function.
+type AggFn uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFn = iota // count(arg): non-null count; arg -1 = count(*)
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+	AggCountD // count distinct
+)
+
+// String returns the TQL spelling.
+func (f AggFn) String() string {
+	return [...]string{"count", "sum", "min", "max", "avg", "countd"}[f]
+}
+
+// ParseAggFn resolves an aggregate function name.
+func ParseAggFn(s string) (AggFn, error) {
+	switch strings.ToLower(s) {
+	case "count":
+		return AggCount, nil
+	case "sum":
+		return AggSum, nil
+	case "min":
+		return AggMin, nil
+	case "max":
+		return AggMax, nil
+	case "avg":
+		return AggAvg, nil
+	case "countd":
+		return AggCountD, nil
+	}
+	return AggCount, fmt.Errorf("plan: unknown aggregate %q", s)
+}
+
+// ResultType returns the aggregate's output type given its input type.
+func (f AggFn) ResultType(in storage.Type) storage.Type {
+	switch f {
+	case AggCount, AggCountD:
+		return storage.TInt
+	case AggAvg:
+		return storage.TFloat
+	case AggSum:
+		if in == storage.TFloat {
+			return storage.TFloat
+		}
+		return storage.TInt
+	default:
+		return in
+	}
+}
+
+// AggSpec is one aggregate output column: Fn applied to child column ArgIdx
+// (-1 for count(*)).
+type AggSpec struct {
+	Fn     AggFn
+	ArgIdx int
+	Name   string
+}
+
+// AggMode distinguishes the phases of parallel aggregation (Sect. 4.2.3).
+type AggMode uint8
+
+// Aggregation phases.
+const (
+	AggSingle AggMode = iota // complete aggregation in one operator
+	AggLocal                 // per-partition partial aggregation
+	AggGlobal                // merge of partial results
+)
+
+// String names the mode.
+func (m AggMode) String() string {
+	return [...]string{"", " local", " global"}[m]
+}
+
+// Aggregate groups child rows by the GroupBy ordinals and computes Aggs.
+// Streaming marks the plan property that the input is already grouped, so
+// the operator can emit groups as it goes instead of hashing everything.
+type Aggregate struct {
+	Child     Node
+	GroupBy   []int
+	Aggs      []AggSpec
+	Mode      AggMode
+	Streaming bool
+}
+
+// Schema implements Node.
+func (a *Aggregate) Schema() []ColInfo {
+	child := a.Child.Schema()
+	out := make([]ColInfo, 0, len(a.GroupBy)+len(a.Aggs))
+	for _, g := range a.GroupBy {
+		out = append(out, child[g])
+	}
+	for _, ag := range a.Aggs {
+		in := storage.TInt
+		if ag.ArgIdx >= 0 {
+			in = child[ag.ArgIdx].Type
+		}
+		out = append(out, ColInfo{Name: ag.Name, Type: ag.Fn.ResultType(in)})
+	}
+	return out
+}
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Child} }
+
+// WithChildren implements Node.
+func (a *Aggregate) WithChildren(ch []Node) Node {
+	c := *a
+	c.Child = ch[0]
+	return &c
+}
+
+// Label implements Node.
+func (a *Aggregate) Label() string {
+	child := a.Child.Schema()
+	groups := make([]string, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		groups[i] = child[g].Name
+	}
+	aggs := make([]string, len(a.Aggs))
+	for i, ag := range a.Aggs {
+		arg := "*"
+		if ag.ArgIdx >= 0 {
+			arg = child[ag.ArgIdx].Name
+		}
+		aggs[i] = fmt.Sprintf("%s=%s(%s)", ag.Name, ag.Fn, arg)
+	}
+	mode := a.Mode.String()
+	stream := ""
+	if a.Streaming {
+		stream = " streaming"
+	}
+	return fmt.Sprintf("aggregate%s%s (%s) (%s)", mode, stream, strings.Join(groups, " "), strings.Join(aggs, " "))
+}
+
+// SortKey orders by one column.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// Sort fully orders the child rows.
+type Sort struct {
+	Child Node
+	Keys  []SortKey
+}
+
+// Schema implements Node.
+func (s *Sort) Schema() []ColInfo { return s.Child.Schema() }
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Child} }
+
+// WithChildren implements Node.
+func (s *Sort) WithChildren(ch []Node) Node { return &Sort{Child: ch[0], Keys: s.Keys} }
+
+// Label implements Node.
+func (s *Sort) Label() string { return "order " + sortKeysString(s.Child.Schema(), s.Keys) }
+
+func sortKeysString(schema []ColInfo, keys []SortKey) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		dir := "asc"
+		if k.Desc {
+			dir = "desc"
+		}
+		parts[i] = fmt.Sprintf("(%s %s)", dir, schema[k.Col].Name)
+	}
+	return strings.Join(parts, " ")
+}
+
+// TopN keeps the first N rows under the sort order.
+type TopN struct {
+	Child Node
+	N     int
+	Keys  []SortKey
+	// Mode mirrors aggregation: a local TopN per partition feeding a global
+	// TopN keeps parallel plans correct (Sect. 4.2.3 applies the
+	// local/global approach to TopN too).
+	Mode AggMode
+}
+
+// Schema implements Node.
+func (t *TopN) Schema() []ColInfo { return t.Child.Schema() }
+
+// Children implements Node.
+func (t *TopN) Children() []Node { return []Node{t.Child} }
+
+// WithChildren implements Node.
+func (t *TopN) WithChildren(ch []Node) Node {
+	return &TopN{Child: ch[0], N: t.N, Keys: t.Keys, Mode: t.Mode}
+}
+
+// Label implements Node.
+func (t *TopN) Label() string {
+	return fmt.Sprintf("topn%s %d %s", t.Mode, t.N, sortKeysString(t.Child.Schema(), t.Keys))
+}
+
+// Limit truncates the child to N rows.
+type Limit struct {
+	Child Node
+	N     int
+}
+
+// Schema implements Node.
+func (l *Limit) Schema() []ColInfo { return l.Child.Schema() }
+
+// Children implements Node.
+func (l *Limit) Children() []Node { return []Node{l.Child} }
+
+// WithChildren implements Node.
+func (l *Limit) WithChildren(ch []Node) Node { return &Limit{Child: ch[0], N: l.N} }
+
+// Label implements Node.
+func (l *Limit) Label() string { return fmt.Sprintf("limit %d", l.N) }
+
+// Exchange merges N parallel inputs into one output stream. The Tableau 9.0
+// optimizer only uses the plain N->1 form; the operator itself "has a
+// capability to ... preserve the order of the input if needed"
+// (Sect. 4.2.1), exposed here via MergeKeys: when non-empty, each input is
+// assumed sorted on those keys and the exchange performs an order-preserving
+// k-way merge.
+type Exchange struct {
+	Inputs    []Node
+	MergeKeys []SortKey
+}
+
+// Schema implements Node.
+func (e *Exchange) Schema() []ColInfo { return e.Inputs[0].Schema() }
+
+// Children implements Node.
+func (e *Exchange) Children() []Node { return e.Inputs }
+
+// WithChildren implements Node.
+func (e *Exchange) WithChildren(ch []Node) Node {
+	return &Exchange{Inputs: ch, MergeKeys: e.MergeKeys}
+}
+
+// Label implements Node.
+func (e *Exchange) Label() string {
+	if len(e.MergeKeys) > 0 {
+		return fmt.Sprintf("exchange-merge %d %s", len(e.Inputs), sortKeysString(e.Inputs[0].Schema(), e.MergeKeys))
+	}
+	return fmt.Sprintf("exchange %d", len(e.Inputs))
+}
+
+// Shared wraps a subtree whose materialized result is shared across the
+// parallel clones referencing it (the SharedTable operator of Sect. 4.2.1).
+// All clones hold the same *Shared pointer; the executor materializes the
+// child once.
+type Shared struct {
+	Child Node
+	// ID disambiguates shared nodes in plan printing.
+	ID int
+}
+
+// Schema implements Node.
+func (s *Shared) Schema() []ColInfo { return s.Child.Schema() }
+
+// Children implements Node.
+func (s *Shared) Children() []Node { return []Node{s.Child} }
+
+// WithChildren implements Node.
+func (s *Shared) WithChildren(ch []Node) Node { return &Shared{Child: ch[0], ID: s.ID} }
+
+// Label implements Node.
+func (s *Shared) Label() string { return fmt.Sprintf("shared-table #%d", s.ID) }
+
+// Format renders the plan tree with indentation, one operator per line,
+// suitable for golden tests of plan shapes (Figs. 3-5).
+func Format(n Node) string {
+	var b strings.Builder
+	seen := map[*Shared]bool{}
+	var rec func(n Node, depth int)
+	rec = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Label())
+		b.WriteString("\n")
+		if sh, ok := n.(*Shared); ok {
+			if seen[sh] {
+				return // print shared subtree once
+			}
+			seen[sh] = true
+		}
+		for _, c := range n.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(n, 0)
+	return b.String()
+}

@@ -1,0 +1,253 @@
+package storage
+
+// Encoding identifies the physical storage format of a column's data.
+// Dictionary compression is orthogonal: a dictionary column stores tokens,
+// and the token array itself may use any integer encoding. Encodings are
+// "invisible outside the storage layer" except where the optimizer exploits
+// them (run-length index scans, Sect. 4.3 of the paper).
+type Encoding uint8
+
+// Supported encodings.
+const (
+	EncPlain Encoding = iota // uncompressed fixed-width or string data
+	EncRLE                   // run-length encoded integers/tokens
+	EncDelta                 // base + per-row delta (sorted/near-sorted ints)
+)
+
+// String names the encoding.
+func (e Encoding) String() string {
+	switch e {
+	case EncRLE:
+		return "rle"
+	case EncDelta:
+		return "delta"
+	}
+	return "plain"
+}
+
+// PhysData is the physical storage of one column: either the values
+// themselves or, for dictionary columns, the token array. Implementations
+// are immutable after construction.
+type PhysData interface {
+	// Len returns the number of rows.
+	Len() int
+	// Encoding reports the storage format.
+	Encoding() Encoding
+	// MaterializeRange decodes rows [from,to) into dst, which must have the
+	// matching physical type and length to-from.
+	MaterializeRange(dst *Vector, from, to int)
+	// NullAt reports whether row i is null.
+	NullAt(i int) bool
+}
+
+// IntAccessor is implemented by integer-backed physical data (plain, RLE,
+// delta, and token arrays) for point access.
+type IntAccessor interface {
+	IntAt(i int) int64
+}
+
+// ---- plain integers ----
+
+// IntData stores int64 values (also bools, dates, datetimes and dictionary
+// tokens) uncompressed.
+type IntData struct {
+	Vals  []int64
+	Nulls []bool // nil when no nulls
+}
+
+// Len implements PhysData.
+func (d *IntData) Len() int { return len(d.Vals) }
+
+// Encoding implements PhysData.
+func (d *IntData) Encoding() Encoding { return EncPlain }
+
+// NullAt implements PhysData.
+func (d *IntData) NullAt(i int) bool { return d.Nulls != nil && d.Nulls[i] }
+
+// IntAt implements IntAccessor.
+func (d *IntData) IntAt(i int) int64 { return d.Vals[i] }
+
+// MaterializeRange implements PhysData.
+func (d *IntData) MaterializeRange(dst *Vector, from, to int) {
+	copy(dst.I, d.Vals[from:to])
+	if d.Nulls != nil {
+		if dst.Null == nil {
+			dst.Null = make([]bool, to-from)
+		}
+		copy(dst.Null, d.Nulls[from:to])
+	}
+}
+
+// ---- plain floats ----
+
+// FloatData stores float64 values uncompressed.
+type FloatData struct {
+	Vals  []float64
+	Nulls []bool
+}
+
+// Len implements PhysData.
+func (d *FloatData) Len() int { return len(d.Vals) }
+
+// Encoding implements PhysData.
+func (d *FloatData) Encoding() Encoding { return EncPlain }
+
+// NullAt implements PhysData.
+func (d *FloatData) NullAt(i int) bool { return d.Nulls != nil && d.Nulls[i] }
+
+// MaterializeRange implements PhysData.
+func (d *FloatData) MaterializeRange(dst *Vector, from, to int) {
+	copy(dst.F, d.Vals[from:to])
+	if d.Nulls != nil {
+		if dst.Null == nil {
+			dst.Null = make([]bool, to-from)
+		}
+		copy(dst.Null, d.Nulls[from:to])
+	}
+}
+
+// ---- plain strings ----
+
+// StringData stores strings uncompressed ("heap" storage for columns that
+// resist dictionary compression).
+type StringData struct {
+	Vals  []string
+	Nulls []bool
+}
+
+// Len implements PhysData.
+func (d *StringData) Len() int { return len(d.Vals) }
+
+// Encoding implements PhysData.
+func (d *StringData) Encoding() Encoding { return EncPlain }
+
+// NullAt implements PhysData.
+func (d *StringData) NullAt(i int) bool { return d.Nulls != nil && d.Nulls[i] }
+
+// MaterializeRange implements PhysData.
+func (d *StringData) MaterializeRange(dst *Vector, from, to int) {
+	copy(dst.S, d.Vals[from:to])
+	if d.Nulls != nil {
+		if dst.Null == nil {
+			dst.Null = make([]bool, to-from)
+		}
+		copy(dst.Null, d.Nulls[from:to])
+	}
+}
+
+// ---- run-length encoding ----
+
+// Run is one run of an RLE column: Count repetitions of Value starting at
+// logical row Start. A null run has Null set.
+type Run struct {
+	Value int64
+	Start int64
+	Count int64
+	Null  bool
+}
+
+// RLEIntData stores integer-backed data as runs. The IndexTable the
+// optimizer derives for range-skipping scans (Sect. 4.3) is exactly the
+// (value, count, start) triple list held here.
+type RLEIntData struct {
+	Runs []Run
+	N    int64
+}
+
+// Len implements PhysData.
+func (d *RLEIntData) Len() int { return int(d.N) }
+
+// Encoding implements PhysData.
+func (d *RLEIntData) Encoding() Encoding { return EncRLE }
+
+// runIndex locates the run containing logical row i via binary search.
+func (d *RLEIntData) runIndex(i int) int {
+	lo, hi := 0, len(d.Runs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := &d.Runs[mid]
+		switch {
+		case int64(i) < r.Start:
+			hi = mid
+		case int64(i) >= r.Start+r.Count:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	panic("storage: RLE row out of range")
+}
+
+func (d *RLEIntData) run(i int) *Run { return &d.Runs[d.runIndex(i)] }
+
+// NullAt implements PhysData.
+func (d *RLEIntData) NullAt(i int) bool { return d.run(i).Null }
+
+// IntAt implements IntAccessor.
+func (d *RLEIntData) IntAt(i int) int64 { return d.run(i).Value }
+
+// MaterializeRange implements PhysData.
+func (d *RLEIntData) MaterializeRange(dst *Vector, from, to int) {
+	if from >= to {
+		return
+	}
+	idx := d.runIndex(from)
+	out := 0
+	for ri := idx; ri < len(d.Runs) && out < to-from; ri++ {
+		run := &d.Runs[ri]
+		lo := run.Start
+		if int64(from) > lo {
+			lo = int64(from)
+		}
+		hi := run.Start + run.Count
+		if int64(to) < hi {
+			hi = int64(to)
+		}
+		for i := lo; i < hi; i++ {
+			dst.I[out] = run.Value
+			if run.Null {
+				if dst.Null == nil {
+					dst.Null = make([]bool, to-from)
+				}
+				dst.Null[out] = true
+			}
+			out++
+		}
+	}
+}
+
+// ---- delta encoding ----
+
+// DeltaIntData stores integer data as a base plus small per-row deltas,
+// a lightweight format for sorted or near-sorted columns such as row ids and
+// date columns of time-ordered fact tables.
+type DeltaIntData struct {
+	Base   int64
+	Deltas []int32
+	Nulls  []bool
+}
+
+// Len implements PhysData.
+func (d *DeltaIntData) Len() int { return len(d.Deltas) }
+
+// Encoding implements PhysData.
+func (d *DeltaIntData) Encoding() Encoding { return EncDelta }
+
+// NullAt implements PhysData.
+func (d *DeltaIntData) NullAt(i int) bool { return d.Nulls != nil && d.Nulls[i] }
+
+// IntAt implements IntAccessor.
+func (d *DeltaIntData) IntAt(i int) int64 { return d.Base + int64(d.Deltas[i]) }
+
+// MaterializeRange implements PhysData.
+func (d *DeltaIntData) MaterializeRange(dst *Vector, from, to int) {
+	for i := from; i < to; i++ {
+		dst.I[i-from] = d.Base + int64(d.Deltas[i])
+	}
+	if d.Nulls != nil {
+		if dst.Null == nil {
+			dst.Null = make([]bool, to-from)
+		}
+		copy(dst.Null, d.Nulls[from:to])
+	}
+}

@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		TNull: "null", TBool: "bool", TInt: "int", TFloat: "float",
+		TStr: "str", TDate: "date", TDateTime: "datetime",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for name, want := range map[string]Type{
+		"int": TInt, "INTEGER": TInt, "float": TFloat, "double": TFloat,
+		"str": TStr, "varchar": TStr, "bool": TBool, "date": TDate,
+		"datetime": TDateTime, "timestamp": TDateTime,
+	} {
+		got, err := ParseType(name)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Error("ParseType(blob) should fail")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	cases := []struct {
+		a, b, want Type
+		ok         bool
+	}{
+		{TInt, TInt, TInt, true},
+		{TInt, TFloat, TFloat, true},
+		{TBool, TInt, TInt, true},
+		{TNull, TStr, TStr, true},
+		{TDate, TDateTime, TDateTime, true},
+		{TStr, TInt, TNull, false},
+	}
+	for _, c := range cases {
+		got, err := Promote(c.a, c.b)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("Promote(%v,%v) = %v, %v; want %v", c.a, c.b, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("Promote(%v,%v) should fail", c.a, c.b)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if Compare(IntValue(1), IntValue(2), CollBinary) != -1 {
+		t.Error("1 < 2 expected")
+	}
+	if Compare(FloatValue(2.5), IntValue(2), CollBinary) != 1 {
+		t.Error("2.5 > 2 expected")
+	}
+	if Compare(NullValue(TInt), IntValue(0), CollBinary) != -1 {
+		t.Error("null sorts first")
+	}
+	if Compare(StrValue("A"), StrValue("a"), CollCI) != 0 {
+		t.Error("CI collation equates A and a")
+	}
+	if Compare(StrValue("A"), StrValue("a"), CollBinary) == 0 {
+		t.Error("binary collation separates A and a")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if got := DateValue(2015, time.May, 31).String(); got != "2015-05-31" {
+		t.Errorf("date = %q", got)
+	}
+	if got := BoolValue(true).String(); got != "true" {
+		t.Errorf("bool = %q", got)
+	}
+	if got := NullValue(TStr).String(); got != "null" {
+		t.Errorf("null = %q", got)
+	}
+	dt := DateTimeValue(time.Date(2015, 5, 31, 12, 30, 0, 0, time.UTC))
+	if got := dt.String(); got != "2015-05-31 12:30:00" {
+		t.Errorf("datetime = %q", got)
+	}
+}
+
+func TestCollationKey(t *testing.T) {
+	if CollCI.Key("HeLLo") != "hello" {
+		t.Error("CI key folds case")
+	}
+	if CollBinary.Key("HeLLo") != "HeLLo" {
+		t.Error("binary key is identity")
+	}
+	// Property: equal keys iff Compare == 0.
+	f := func(a, b string) bool {
+		return (CollCI.Key(a) == CollCI.Key(b)) == (CollCI.Compare(a, b) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseCollation(t *testing.T) {
+	if c, err := ParseCollation("ci"); err != nil || c != CollCI {
+		t.Errorf("ci: %v %v", c, err)
+	}
+	if c, err := ParseCollation(""); err != nil || c != CollBinary {
+		t.Errorf("default: %v %v", c, err)
+	}
+	if _, err := ParseCollation("klingon"); err == nil {
+		t.Error("unknown collation should fail")
+	}
+}

@@ -1,0 +1,222 @@
+// Package vizql models dashboards: collections of zones (charts, quick
+// filters, text) linked by interactive filter actions (Sect. 2-3 of the
+// paper). Rendering a dashboard generates query batches over several
+// iterations: responses can invalidate selections (the Fig. 2 HNL-OGG
+// example), triggering follow-up queries. Each iteration's batch goes
+// through the core pipeline's batch optimization.
+package vizql
+
+import (
+	"fmt"
+	"strings"
+
+	"vizq/internal/query"
+)
+
+// ZoneKind classifies dashboard zones.
+type ZoneKind uint8
+
+// Zone kinds.
+const (
+	// ZoneChart renders data (maps, bars, lines) and may expose selections
+	// that drive filter actions.
+	ZoneChart ZoneKind = iota
+	// ZoneQuickFilter shows a column's domain with checkboxes; its domain
+	// query is sent once ("further interactions might change the selection
+	// but not the domains", Sect. 3.2).
+	ZoneQuickFilter
+	// ZoneText renders a single aggregate (e.g. the visible record count).
+	ZoneText
+)
+
+// Zone is one dashboard element.
+type Zone struct {
+	Name string
+	Kind ZoneKind
+	// Spec is the zone's base query, before interactive filters.
+	Spec *query.Query
+	// FilterCol is the domain column for quick filters.
+	FilterCol string
+}
+
+// FilterAction links a selection in a source zone to filters on targets
+// ("selecting a field in the Market zone will filter the results in the
+// Carrier and Airline Name zones").
+type FilterAction struct {
+	Source  string
+	Col     string
+	Targets []string
+}
+
+// Dashboard is a named collection of zones and actions.
+type Dashboard struct {
+	Name    string
+	Zones   []*Zone
+	Actions []FilterAction
+}
+
+// Zone finds a zone by name.
+func (d *Dashboard) Zone(name string) *Zone {
+	for _, z := range d.Zones {
+		if strings.EqualFold(z.Name, name) {
+			return z
+		}
+	}
+	return nil
+}
+
+// Validate checks structural consistency.
+func (d *Dashboard) Validate() error {
+	seen := map[string]bool{}
+	for _, z := range d.Zones {
+		l := strings.ToLower(z.Name)
+		if seen[l] {
+			return fmt.Errorf("vizql: duplicate zone %q", z.Name)
+		}
+		seen[l] = true
+		if z.Kind == ZoneQuickFilter {
+			if z.FilterCol == "" {
+				return fmt.Errorf("vizql: quick filter %q has no column", z.Name)
+			}
+			continue
+		}
+		if z.Spec == nil {
+			return fmt.Errorf("vizql: zone %q has no query", z.Name)
+		}
+		if err := z.Spec.Validate(); err != nil {
+			return fmt.Errorf("vizql: zone %q: %w", z.Name, err)
+		}
+	}
+	for _, a := range d.Actions {
+		src := d.Zone(a.Source)
+		if src == nil {
+			return fmt.Errorf("vizql: action source %q missing", a.Source)
+		}
+		if src.Kind == ZoneChart && !specHasColumn(src.Spec, a.Col) {
+			return fmt.Errorf("vizql: action column %q not in source zone %q", a.Col, a.Source)
+		}
+		for _, tgt := range a.Targets {
+			if d.Zone(tgt) == nil {
+				return fmt.Errorf("vizql: action target %q missing", tgt)
+			}
+		}
+	}
+	return nil
+}
+
+func specHasColumn(q *query.Query, col string) bool {
+	for _, dim := range q.Dims {
+		if strings.EqualFold(dim.Col, col) {
+			return true
+		}
+	}
+	return false
+}
+
+// FlightsDashboard builds the paper's Fig. 2 dashboard: Market, Carrier and
+// Airline Name zones over the flights data, with Market filtering Carrier
+// and Airline Name, and Carrier filtering Airline Name. The Carrier zone is
+// a top-5 by flight count.
+func FlightsDashboard(dataSource string) *Dashboard {
+	flights := query.View{Table: "flights"}
+	withCarriers := query.View{
+		Table: "flights",
+		Joins: []query.JoinSpec{{Table: "carriers", LeftCol: "carrier", RightCol: "carrier"}},
+	}
+	return &Dashboard{
+		Name: "flights-per-day",
+		Zones: []*Zone{
+			{
+				Name: "Market", Kind: ZoneChart,
+				Spec: &query.Query{
+					DataSource: dataSource, View: flights,
+					Dims:     []query.Dim{{Col: "market"}},
+					Measures: []query.Measure{{Fn: query.Count, As: "flights"}},
+					OrderBy:  []query.Order{{Col: "flights", Desc: true}},
+				},
+			},
+			{
+				Name: "Carrier", Kind: ZoneChart,
+				Spec: &query.Query{
+					DataSource: dataSource, View: flights,
+					Dims:     []query.Dim{{Col: "carrier"}},
+					Measures: []query.Measure{{Fn: query.Count, As: "flights"}},
+					OrderBy:  []query.Order{{Col: "flights", Desc: true}},
+					N:        5,
+				},
+			},
+			{
+				Name: "Airline Name", Kind: ZoneChart,
+				Spec: &query.Query{
+					DataSource: dataSource, View: withCarriers,
+					Dims:     []query.Dim{{Col: "airline_name"}},
+					Measures: []query.Measure{{Fn: query.Count, As: "flights"}},
+					OrderBy:  []query.Order{{Col: "flights", Desc: true}},
+				},
+			},
+		},
+		Actions: []FilterAction{
+			{Source: "Market", Col: "market", Targets: []string{"Carrier", "Airline Name"}},
+			{Source: "Carrier", Col: "carrier", Targets: []string{"Airline Name"}},
+		},
+	}
+}
+
+// FAADashboard builds a larger Fig. 1-style dashboard: origin/destination
+// state maps, carrier and destination-airport charts, weekday cancellation
+// breakdowns, hourly delay distribution, quick filters and a record count.
+func FAADashboard(dataSource string) *Dashboard {
+	flights := query.View{Table: "flights"}
+	count := []query.Measure{{Fn: query.Count, As: "flights"}}
+	withDelay := []query.Measure{
+		{Fn: query.Count, As: "flights"},
+		{Fn: query.Avg, Col: "delay", As: "avgdelay"},
+	}
+	return &Dashboard{
+		Name: "faa-on-time",
+		Zones: []*Zone{
+			{Name: "Origins", Kind: ZoneChart, Spec: &query.Query{
+				DataSource: dataSource, View: flights,
+				Dims: []query.Dim{{Col: "origin"}}, Measures: withDelay,
+			}},
+			{Name: "Destinations", Kind: ZoneChart, Spec: &query.Query{
+				DataSource: dataSource, View: flights,
+				Dims: []query.Dim{{Col: "dest"}}, Measures: withDelay,
+			}},
+			{Name: "Carriers", Kind: ZoneChart, Spec: &query.Query{
+				DataSource: dataSource, View: flights,
+				Dims: []query.Dim{{Col: "carrier"}}, Measures: withDelay,
+			}},
+			{Name: "Weekday", Kind: ZoneChart, Spec: &query.Query{
+				DataSource: dataSource, View: flights,
+				Dims:     []query.Dim{{Expr: "(weekday date)", As: "wd"}},
+				Measures: count,
+			}},
+			{Name: "Hourly Delay", Kind: ZoneChart, Spec: &query.Query{
+				DataSource: dataSource, View: flights,
+				Dims:     []query.Dim{{Col: "hour"}},
+				Measures: withDelay,
+			}},
+			{Name: "Record Count", Kind: ZoneText, Spec: &query.Query{
+				DataSource: dataSource, View: flights,
+				Measures: count,
+			}},
+			{Name: "Carrier Filter", Kind: ZoneQuickFilter, FilterCol: "carrier"},
+		},
+		Actions: []FilterAction{
+			{Source: "Origins", Col: "origin", Targets: []string{"Destinations", "Carriers", "Weekday", "Hourly Delay", "Record Count"}},
+			{Source: "Destinations", Col: "dest", Targets: []string{"Carriers", "Weekday", "Hourly Delay", "Record Count"}},
+			{Source: "Carrier Filter", Col: "carrier", Targets: []string{"Origins", "Destinations", "Weekday", "Hourly Delay", "Record Count"}},
+		},
+	}
+}
+
+// quickFilterDomainQuery builds the domain query for a quick filter zone.
+func quickFilterDomainQuery(dataSource, table, col string) *query.Query {
+	return &query.Query{
+		DataSource: dataSource,
+		View:       query.View{Table: table},
+		Dims:       []query.Dim{{Col: col}},
+		Measures:   []query.Measure{{Fn: query.Count, As: "n"}},
+	}
+}

@@ -1,0 +1,96 @@
+package vizql
+
+import (
+	"context"
+	"strings"
+
+	"vizq/internal/query"
+	"vizq/internal/tde/storage"
+)
+
+// Prefetch implements the paper's future-work direction (Sect. 7: dashboards
+// "could become more responsive if requested data has been accurately
+// predicted and prefetched", citing DICE's speculative query execution): it
+// predicts the user's next interactions as selections of the top-K values in
+// each action-source zone, builds the queries those interactions would
+// generate, and runs them as one batch through the pipeline — warming the
+// intelligent cache so the real interaction renders without remote queries.
+//
+// It returns the number of distinct queries speculatively executed.
+func (s *Session) Prefetch(ctx context.Context, topK int) (int, error) {
+	if topK <= 0 {
+		topK = 3
+	}
+	seen := map[string]bool{}
+	var batch []*query.Query
+	for _, a := range s.dash.Actions {
+		src := s.dash.Zone(a.Source)
+		if src == nil {
+			continue
+		}
+		res := s.results[strings.ToLower(a.Source)]
+		if res == nil {
+			continue
+		}
+		col := res.ColumnIndex(a.Col)
+		if col < 0 {
+			continue
+		}
+		// Candidate selections: the leading rows of the source zone. Chart
+		// zones are typically sorted by descending measure, so these are the
+		// values a user is most likely to click (the DICE-style locality
+		// assumption).
+		n := topK
+		if n > res.N {
+			n = res.N
+		}
+		for i := 0; i < n; i++ {
+			v := res.Value(i, col)
+			if v.Null {
+				continue
+			}
+			for _, tgt := range a.Targets {
+				z := s.dash.Zone(tgt)
+				if z == nil || z.Kind == ZoneQuickFilter {
+					continue
+				}
+				q := s.zoneQueryWithHypothetical(z, a, v)
+				key := q.Key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				batch = append(batch, q)
+			}
+		}
+	}
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	if _, err := s.proc.ExecuteBatch(ctx, batch); err != nil {
+		return 0, err
+	}
+	return len(batch), nil
+}
+
+// zoneQueryWithHypothetical builds the query a target zone would issue if
+// the action's source selection were value v (current other selections
+// preserved).
+func (s *Session) zoneQueryWithHypothetical(z *Zone, act FilterAction, v storage.Value) *query.Query {
+	q := z.Spec.Clone()
+	for _, a := range s.dash.Actions {
+		if !actionTargets(a, z.Name) {
+			continue
+		}
+		if strings.EqualFold(a.Source, act.Source) && a.Col == act.Col {
+			q.Filters = append(q.Filters, query.InFilter(a.Col, v))
+			continue
+		}
+		vals := s.Selection(a.Source)
+		if len(vals) == 0 {
+			continue
+		}
+		q.Filters = append(q.Filters, query.InFilter(a.Col, vals...))
+	}
+	return q
+}

@@ -1,0 +1,81 @@
+package vizql
+
+import (
+	"context"
+	"testing"
+
+	"vizq/internal/tde/storage"
+)
+
+func TestPrefetchMakesInteractionsLocal(t *testing.T) {
+	proc, srv := newProc(t)
+	sess, err := NewSession(FlightsDashboard("flights"), proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sess.Render(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := sess.Prefetch(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("prefetch issued nothing")
+	}
+	afterPrefetch := srv.Stats().Queries
+
+	// The user now clicks the top market — every dependent zone query was
+	// speculatively executed, so nothing new reaches the backend.
+	topMarket := sess.Result("Market").Value(0, 0)
+	if err := sess.Select("Market", topMarket); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Render(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().Queries; got != afterPrefetch {
+		t.Errorf("prefetched interaction still sent %d backend queries", got-afterPrefetch)
+	}
+
+	// An unpredicted interaction (a deep value) still goes remote.
+	mkts := sess.Result("Market")
+	if mkts.N > 10 {
+		if err := sess.Select("Market", mkts.Value(mkts.N-1, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Render(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if got := srv.Stats().Queries; got == afterPrefetch {
+			t.Error("unpredicted interaction should reach the backend")
+		}
+	}
+}
+
+func TestPrefetchRespectsCurrentSelections(t *testing.T) {
+	proc, _ := newProc(t)
+	d := FlightsDashboard("flights")
+	sess, err := NewSession(d, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sess.Render(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Select("Market", storage.StrValue("LAX-SFO")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Render(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Hypothetical carrier selections must keep the live market filter.
+	q := sess.zoneQueryWithHypothetical(d.Zone("Airline Name"),
+		d.Actions[1], storage.StrValue("WN"))
+	if len(q.Filters) != 2 {
+		t.Fatalf("hypothetical query filters = %d, want market + carrier", len(q.Filters))
+	}
+}
