@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vizlint [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs project-specific static checks over the given package patterns\n")
+		fmt.Fprintf(os.Stderr, "(default ./...). Exits 1 when findings are reported.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	dirs, err := resolveDirs(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vizlint:", err)
+		os.Exit(2)
+	}
+	modPath := modulePath(".")
+	fset := token.NewFileSet()
+	var findings []Finding
+	for _, dir := range dirs {
+		pkg, err := loadPackage(fset, dir, modPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vizlint:", err)
+			os.Exit(2)
+		}
+		if pkg == nil {
+			continue
+		}
+		findings = append(findings, runChecks(pkg)...)
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "vizlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// resolveDirs expands package patterns into directories. A trailing /...
+// walks the tree; anything else names a single directory.
+func resolveDirs(args []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+	}
+	for _, arg := range args {
+		if !strings.HasSuffix(arg, "...") {
+			add(arg)
+			continue
+		}
+		root := filepath.Clean(strings.TrimSuffix(arg, "..."))
+		if root == "" {
+			root = "."
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "node_modules") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// modulePath reads the module path from go.mod, walking up from dir.
+func modulePath(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	for {
+		f, err := os.Open(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			defer f.Close()
+			sc := bufio.NewScanner(f)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return strings.TrimSpace(rest)
+				}
+			}
+			return ""
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return ""
+		}
+		abs = parent
+	}
+}

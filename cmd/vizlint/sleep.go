@@ -1,0 +1,37 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// checkSleep flags time.Sleep in non-test code: sleeping is never a
+// synchronization primitive. Simulation code (the remote server's latency
+// model, the executor's simulated block reads) opts out per call site with
+// a `//vizlint:allow sleep` directive that documents why the sleep is
+// modeling time rather than hiding a race.
+func checkSleep(pkg *pkgInfo, fi *fileInfo) []Finding {
+	var out []Finding
+	ast.Inspect(fi.File, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Sleep" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "time" {
+			return true
+		}
+		if fi.allowedAt(pkg.Fset, call.Pos(), "sleep") {
+			return true
+		}
+		out = append(out, Finding{
+			Pos:   pkg.Fset.Position(call.Pos()),
+			Check: "sleep",
+			Msg:   "time.Sleep used outside tests (use channels/sync for coordination, or annotate simulation code with //vizlint:allow sleep)",
+		})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,17 @@
+package fixture
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+func flushAndClose(w *bufio.Writer, f *os.File, err error) error {
+	w.Flush() // want: errors (discarded Flush error)
+	f.Close() // want: errors (discarded Close error)
+	return fmt.Errorf("save failed: %v", err) // want: errors (error wrapped without %w)
+}
+
+func writeAll(w *bufio.Writer, data []byte) {
+	w.Write(data) // want: errors (discarded Write error)
+}

@@ -1,0 +1,21 @@
+package fixture
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+func flushAndCloseOK(w *bufio.Writer, f *os.File, err error) error {
+	if ferr := w.Flush(); ferr != nil {
+		return fmt.Errorf("flush: %w", ferr)
+	}
+	defer f.Close() // deferred close of a read path is a visible decision
+	_ = w.Flush()   // explicit discard is a visible decision
+	return fmt.Errorf("save failed: %w", err)
+}
+
+func formatOK(n int, name string) error {
+	// Non-error arguments never need %w.
+	return fmt.Errorf("bad row %d in %s", n, name)
+}

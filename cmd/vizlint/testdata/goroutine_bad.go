@@ -1,0 +1,16 @@
+package fixture
+
+import "sync"
+
+type worker struct {
+	mu    sync.Mutex
+	count int
+}
+
+// Kick launches a goroutine that mutates shared receiver state without
+// the mutex and offers no way to join or cancel it.
+func (w *worker) Kick() {
+	go func() {
+		w.count++ // want: goroutine (unprotected shared write; plus no join signal on the go stmt)
+	}()
+}

@@ -1,0 +1,37 @@
+package fixture
+
+import "sync"
+
+type workerOK struct {
+	mu    sync.Mutex
+	count int
+	wg    sync.WaitGroup
+}
+
+// Kick protects the shared write and joins through the WaitGroup.
+func (w *workerOK) Kick() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		w.mu.Lock()
+		w.count++
+		w.mu.Unlock()
+	}()
+}
+
+// Drain is joined by channel close.
+func (w *workerOK) Drain(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// Fanout writes only goroutine-local state and signals completion.
+func (w *workerOK) Fanout(out chan<- int) {
+	go func() {
+		local := 0
+		local++
+		out <- local
+	}()
+}

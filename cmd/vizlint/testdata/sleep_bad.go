@@ -1,0 +1,7 @@
+package fixture
+
+import "time"
+
+func waitForServer() {
+	time.Sleep(50 * time.Millisecond) // want: sleep (sleep as synchronization)
+}

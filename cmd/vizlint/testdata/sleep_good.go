@@ -1,0 +1,12 @@
+package fixture
+
+import "time"
+
+func simulateLatencyInline() {
+	time.Sleep(time.Millisecond) //vizlint:allow sleep -- simulated wire latency
+}
+
+func simulateLatencyAbove() {
+	//vizlint:allow sleep -- modeling a disk stall
+	time.Sleep(time.Millisecond)
+}

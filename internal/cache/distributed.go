@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"sync/atomic"
 	"time"
 
 	"vizq/internal/kvstore"
@@ -19,8 +20,10 @@ type Distributed struct {
 	// TTL bounds shared entries' lifetime.
 	TTL time.Duration
 
-	remoteHits   int64
-	remoteMisses int64
+	// Counters are atomic: Get runs concurrently on server worker
+	// goroutines and a torn increment is a data race under -race.
+	remoteHits   atomic.Int64
+	remoteMisses atomic.Int64
 }
 
 // NewDistributed wires a local cache to a kvstore client.
@@ -38,15 +41,15 @@ func (d *Distributed) Get(q *query.Query) (*exec.Result, bool) {
 	}
 	data, ok, err := d.Remote.Get(q.Key())
 	if err != nil || !ok {
-		d.remoteMisses++
+		d.remoteMisses.Add(1)
 		return nil, false
 	}
 	sq, sres, cost, err := DecodeEntry(data)
 	if err != nil {
-		d.remoteMisses++
+		d.remoteMisses.Add(1)
 		return nil, false
 	}
-	d.remoteHits++
+	d.remoteHits.Add(1)
 	// Warm the local tier: future queries on this node can match by
 	// subsumption, not only by exact key.
 	d.Local.Put(sq, sres, cost)
@@ -67,5 +70,5 @@ func (d *Distributed) Put(q *query.Query, res *exec.Result, cost time.Duration) 
 
 // RemoteStats reports shared-store outcomes for this node.
 func (d *Distributed) RemoteStats() (hits, misses int64) {
-	return d.remoteHits, d.remoteMisses
+	return d.remoteHits.Load(), d.remoteMisses.Load()
 }

@@ -1,0 +1,92 @@
+package cache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"vizq/internal/query"
+	"vizq/internal/tde/exec"
+	"vizq/internal/tde/storage"
+)
+
+// TestCacheStress hammers one intelligent cache (best-match enabled) and
+// one literal cache from many goroutines with a mix of Put, exact Get,
+// derived Get and best-match lookups. It asserts nothing about hit rates;
+// it exists so `go test -race` can observe the locking under contention.
+func TestCacheStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping cache stress test in -short mode")
+	}
+
+	// Build a few real query/result pairs single-threaded up front.
+	base := baseQuery()
+	baseRes := run(t, base)
+	narrow := base.Clone()
+	narrow.Dims = []query.Dim{{Col: "carrier"}}
+	narrowRes := run(t, narrow)
+	filtered := base.Clone()
+	filtered.Filters = []query.Filter{query.InFilter("origin", storage.StrValue("LAX"), storage.StrValue("ATL"))}
+	filteredRes := run(t, filtered)
+
+	pairs := []struct {
+		q   *query.Query
+		res *exec.Result
+	}{
+		{base, baseRes},
+		{narrow, narrowRes},
+		{filtered, filteredRes},
+	}
+
+	opts := DefaultOptions()
+	opts.BestMatch = true
+	opts.MaxEntries = 2 // below the distinct key count, so eviction churns
+	intel := NewIntelligentCache(opts)
+	lit := NewLiteralCache(Options{MaxEntries: 4})
+
+	const workers = 8
+	const iters = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				p := pairs[rng.Intn(len(pairs))]
+				switch rng.Intn(4) {
+				case 0:
+					// Vary the recorded cost so eviction ordering churns.
+					intel.Put(p.q.Clone(), p.res, time.Duration(rng.Intn(10)+1)*time.Millisecond)
+				case 1:
+					if res, ok := intel.Get(p.q.Clone()); ok && res == nil {
+						t.Error("hit returned a nil result")
+					}
+				case 2:
+					// A filtered roll-up matches no stored key exactly, so a
+					// hit must go through subsumption matching and, with
+					// BestMatch on, candidate scoring.
+					r := base.Clone()
+					r.Dims = []query.Dim{{Col: "carrier"}}
+					r.Filters = []query.Filter{query.InFilter("carrier", storage.StrValue("WN"), storage.StrValue("AA"))}
+					intel.Get(r)
+				case 3:
+					key := p.q.ToTQL()
+					lit.Put(key, p.res, time.Millisecond)
+					lit.Get(key)
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+
+	if n := intel.Len(); n > opts.MaxEntries {
+		t.Errorf("intelligent cache holds %d entries, cap is %d", n, opts.MaxEntries)
+	}
+	if n := lit.Len(); n > 4 {
+		t.Errorf("literal cache holds %d entries, cap is 4", n)
+	}
+	st := intel.Stats()
+	t.Logf("stress: exact=%d derived=%d miss=%d evict=%d", st.ExactHits, st.DerivedHits, st.Misses, st.Evictions)
+}

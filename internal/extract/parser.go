@@ -75,13 +75,13 @@ func ParseSchema(r io.Reader) (*FileSchema, error) {
 		}
 		t, err := storage.ParseType(strings.TrimSpace(parts[1]))
 		if err != nil {
-			return nil, fmt.Errorf("extract: schema line %d: %v", line, err)
+			return nil, fmt.Errorf("extract: schema line %d: %w", line, err)
 		}
 		coll := storage.CollBinary
 		if len(parts) == 3 {
 			coll, err = storage.ParseCollation(strings.TrimSpace(parts[2]))
 			if err != nil {
-				return nil, fmt.Errorf("extract: schema line %d: %v", line, err)
+				return nil, fmt.Errorf("extract: schema line %d: %w", line, err)
 			}
 		}
 		s.Cols = append(s.Cols, SchemaCol{Name: strings.TrimSpace(parts[0]), Type: t, Coll: coll})

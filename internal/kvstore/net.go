@@ -57,7 +57,7 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close() // best-effort: the server is going away
 	}
 	s.mu.Unlock()
 	err := s.ln.Close()
@@ -89,7 +89,7 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		if !s.track(conn) {
-			conn.Close()
+			_ = conn.Close()
 			return
 		}
 		s.wg.Add(1)
@@ -122,23 +122,27 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		var werr error
 		switch op {
 		case opGet:
 			if v, ok := s.store.Get(string(key)); ok {
-				writeResponse(w, statusOK, v)
+				werr = writeResponse(w, statusOK, v)
 			} else {
-				writeResponse(w, statusNotFound, nil)
+				werr = writeResponse(w, statusNotFound, nil)
 			}
 		case opSet:
 			s.store.Set(string(key), val, time.Duration(ttl)*time.Millisecond)
-			writeResponse(w, statusOK, nil)
+			werr = writeResponse(w, statusOK, nil)
 		case opDelete:
 			s.store.Delete(string(key))
-			writeResponse(w, statusOK, nil)
+			werr = writeResponse(w, statusOK, nil)
 		case opPing:
-			writeResponse(w, statusOK, []byte("pong"))
+			werr = writeResponse(w, statusOK, []byte("pong"))
 		default:
-			writeResponse(w, statusError, []byte(fmt.Sprintf("bad op %q", op)))
+			werr = writeResponse(w, statusError, []byte(fmt.Sprintf("bad op %q", op)))
+		}
+		if werr != nil {
+			return
 		}
 		if err := w.Flush(); err != nil {
 			return
@@ -164,10 +168,15 @@ func readBlob(r *bufio.Reader) ([]byte, error) {
 	return b, nil
 }
 
-func writeResponse(w *bufio.Writer, status byte, val []byte) {
-	w.WriteByte(status)
-	binary.Write(w, binary.LittleEndian, uint32(len(val)))
-	w.Write(val)
+func writeResponse(w *bufio.Writer, status byte, val []byte) error {
+	if err := w.WriteByte(status); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(val))); err != nil {
+		return err
+	}
+	_, err := w.Write(val)
+	return err
 }
 
 // Client talks to a kvstore server over a single multiplexed connection.
@@ -199,13 +208,7 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) roundTrip(op byte, key string, ttl time.Duration, val []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.w.WriteByte(op)
-	binary.Write(c.w, binary.LittleEndian, uint32(len(key)))
-	c.w.WriteString(key)
-	binary.Write(c.w, binary.LittleEndian, uint64(ttl/time.Millisecond))
-	binary.Write(c.w, binary.LittleEndian, uint32(len(val)))
-	c.w.Write(val)
-	if err := c.w.Flush(); err != nil {
+	if err := c.writeRequest(op, key, ttl, val); err != nil {
 		return 0, nil, err
 	}
 	status, err := c.r.ReadByte()
@@ -217,6 +220,31 @@ func (c *Client) roundTrip(op byte, key string, ttl time.Duration, val []byte) (
 		return 0, nil, err
 	}
 	return status, body, nil
+}
+
+// writeRequest frames and flushes one request. bufio's sticky error would
+// surface at Flush anyway, but checking each write keeps the failure close
+// to its cause.
+func (c *Client) writeRequest(op byte, key string, ttl time.Duration, val []byte) error {
+	if err := c.w.WriteByte(op); err != nil {
+		return err
+	}
+	if err := binary.Write(c.w, binary.LittleEndian, uint32(len(key))); err != nil {
+		return err
+	}
+	if _, err := c.w.WriteString(key); err != nil {
+		return err
+	}
+	if err := binary.Write(c.w, binary.LittleEndian, uint64(ttl/time.Millisecond)); err != nil {
+		return err
+	}
+	if err := binary.Write(c.w, binary.LittleEndian, uint32(len(val))); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(val); err != nil {
+		return err
+	}
+	return c.w.Flush()
 }
 
 // Get fetches a key.

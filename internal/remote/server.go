@@ -195,7 +195,7 @@ func (s *Server) serveSession(conn net.Conn, id int64) {
 
 func (s *Server) handle(sess *session, req *Request) *Response {
 	if s.cfg.Latency > 0 {
-		time.Sleep(s.cfg.Latency)
+		time.Sleep(s.cfg.Latency) //vizlint:allow sleep -- simulated network round trip (performance model)
 	}
 	switch req.Op {
 	case OpPing:
@@ -237,7 +237,7 @@ func (s *Server) handleQuery(req *Request) *Response {
 		return &Response{Err: err.Error()}
 	}
 	if s.cfg.PerRowCost > 0 {
-		time.Sleep(time.Duration(res.N) * s.cfg.PerRowCost)
+		time.Sleep(time.Duration(res.N) * s.cfg.PerRowCost) //vizlint:allow sleep -- simulated per-row backend cost (performance model)
 	}
 	return &Response{Result: res, ExecNS: time.Since(start).Nanoseconds()}
 }

@@ -221,7 +221,7 @@ func (s *scanOp) Next() (*storage.Batch, error) {
 			to = r.To
 		}
 		if s.ioDelay > 0 {
-			time.Sleep(s.ioDelay) // simulated block read (see Config)
+			time.Sleep(s.ioDelay) //vizlint:allow sleep -- simulated block read (see Config)
 		}
 		cols := make([]*storage.Vector, len(s.node.ColIdxs))
 		for i, ci := range s.node.ColIdxs {

@@ -76,7 +76,7 @@ func SaveDatabase(db *Database, path string) error {
 		return err
 	}
 	if err := WriteDatabase(db, f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error takes precedence
 		return err
 	}
 	return f.Close()

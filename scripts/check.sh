@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full static-analysis and race gate for the vizq tree.
+#
+#   scripts/check.sh          run everything
+#   SKIP_RACE=1 scripts/check.sh   skip the (slower) race-detector pass
+#
+# The same commands run in CI (.github/workflows/check.yml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== vizlint ./..."
+go run ./cmd/vizlint ./...
+
+if [[ "${SKIP_RACE:-0}" != "1" ]]; then
+    echo "== go test -race ./..."
+    go test -race ./...
+else
+    echo "== go test ./... (race pass skipped)"
+    go test ./...
+fi
+
+echo "OK"
