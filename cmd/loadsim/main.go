@@ -8,6 +8,7 @@
 // Usage:
 //
 //	loadsim [-users 20] [-interactions 3] [-latency 5ms] [-rows 100000]
+//	        [-trace] [-metrics text|json]
 package main
 
 import (
@@ -16,11 +17,13 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sort"
 	"time"
 
 	"vizq/internal/connection"
 	"vizq/internal/core"
+	"vizq/internal/obs"
 	"vizq/internal/remote"
 	"vizq/internal/tde/engine"
 	"vizq/internal/vizql"
@@ -33,7 +36,12 @@ func main() {
 	latency := flag.Duration("latency", 5*time.Millisecond, "remote request latency")
 	rows := flag.Int("rows", 100_000, "backend fact rows")
 	seed := flag.Int64("seed", 1, "interaction randomness seed")
+	trace := flag.Bool("trace", false, "run one traced user after each mode and print its per-stage breakdown")
+	metrics := flag.String("metrics", "", "dump process metrics after the run: text or json")
 	flag.Parse()
+	if *metrics != "" && *metrics != "text" && *metrics != "json" {
+		log.Fatalf("loadsim: -metrics must be text or json, got %q", *metrics)
+	}
 
 	db, err := workload.BuildFlightsDB(workload.FlightsConfig{Rows: *rows, Days: 365, Seed: 42})
 	if err != nil {
@@ -99,8 +107,52 @@ func main() {
 		fmt.Printf("  interaction   p50=%v p95=%v\n", pct(interactTimes, 50), pct(interactTimes, 95))
 		fmt.Printf("  wall=%v backendQueries=%d cacheHits=%d localAnswers=%d fused=%d\n\n",
 			wall.Round(time.Millisecond), backend, st.CacheHits, st.LocalAnswers, st.FusedAway)
+		if *trace {
+			if err := traceUser(proc, *interactions); err != nil {
+				log.Fatal(err)
+			}
+		}
 		pool.Close()
 	}
+
+	switch *metrics {
+	case "text":
+		if err := obs.Default.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case "json":
+		if err := obs.Default.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// traceUser replays one user session under a tracer (outside the timed run)
+// and prints the aggregated per-stage latency breakdown.
+func traceUser(proc *core.Processor, interactions int) error {
+	tr := obs.New()
+	ctx := obs.WithTracer(context.Background(), tr)
+	sess, err := vizql.NewSession(vizql.FlightsDashboard("flights"), proc)
+	if err != nil {
+		return err
+	}
+	if _, err := sess.Render(ctx); err != nil {
+		return err
+	}
+	for i := 0; i < interactions; i++ {
+		markets := sess.Result("Market")
+		if markets == nil || markets.N == 0 {
+			break
+		}
+		if err := sess.Select("Market", markets.Value(i%markets.N, 0)); err != nil {
+			return err
+		}
+		if _, err := sess.Render(ctx); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("  stage breakdown (1 traced user, untimed):\n%s\n", obs.FormatStages(tr.Stages()))
+	return nil
 }
 
 func pct(ds []time.Duration, p int) time.Duration {

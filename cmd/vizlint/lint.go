@@ -13,6 +13,9 @@
 //	            wrapping an error variable must use %w.
 //	sleep     – time.Sleep must not be used for synchronization outside
 //	            tests and simulation code.
+//	obs       – a span started with obs.StartSpan must be finished on
+//	            every return path (prefer defer sp.Finish()); spans that
+//	            escape the function are assumed finished elsewhere.
 //
 // A finding can be suppressed with a directive comment on the same line
 // or the line above:
@@ -20,7 +23,7 @@
 //	//vizlint:allow sleep -- simulated wire latency
 //
 // The directive names one or more checks (locks, goroutine, errors,
-// sleep, or all); text after "--" is an optional justification.
+// sleep, obs, or all); text after "--" is an optional justification.
 package main
 
 import (
@@ -332,6 +335,7 @@ func runChecks(pkg *pkgInfo) []Finding {
 		out = append(out, checkGoroutines(pkg, fi)...)
 		out = append(out, checkErrors(pkg, fi)...)
 		out = append(out, checkSleep(pkg, fi)...)
+		out = append(out, checkObs(pkg, fi)...)
 	}
 	return out
 }

@@ -1,0 +1,43 @@
+package fixture
+
+import (
+	"context"
+	"errors"
+
+	"vizq/internal/obs"
+)
+
+// EarlyReturn leaks its span on the error path: only the happy path
+// finishes it. (1 finding)
+func EarlyReturn(ctx context.Context, fail bool) error {
+	_, sp := obs.StartSpan(ctx, "work")
+	if fail {
+		return errors.New("bailed before Finish")
+	}
+	sp.Finish()
+	return nil
+}
+
+// FallThrough starts a span and never finishes it at all. (1 finding)
+func FallThrough(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "forgotten")
+	sp.Annotate("k", "v")
+}
+
+// Restarted rebinds the span variable while the first span is still open:
+// nothing can ever finish the orphan. (1 finding)
+func Restarted(ctx context.Context) {
+	ctx, sp := obs.StartSpan(ctx, "first")
+	ctx, sp = obs.StartSpan(ctx, "second")
+	_ = ctx
+	sp.Finish()
+}
+
+// DeferOnlySometimes schedules the Finish in one branch but falls through
+// without it in the other. (1 finding)
+func DeferOnlySometimes(ctx context.Context, hot bool) {
+	_, sp := obs.StartSpan(ctx, "maybe")
+	if hot {
+		defer sp.Finish()
+	}
+}

@@ -134,6 +134,24 @@ func TestSleepDirectiveSuppresses(t *testing.T) {
 	}
 }
 
+func TestObsFiresOnBadCode(t *testing.T) {
+	findings := lintFixture(t, "obs_bad.go", "vizq/internal/fixture")
+	// EarlyReturn's bail-out, FallThrough's missing Finish, Restarted's
+	// orphaned first span, and DeferOnlySometimes' undeferred branch.
+	if got := countCheck(findings, "obs"); got != 4 {
+		dump(t, findings)
+		t.Errorf("obs findings = %d, want 4", got)
+	}
+}
+
+func TestObsSilentOnGoodCode(t *testing.T) {
+	findings := lintFixture(t, "obs_good.go", "vizq/internal/fixture")
+	if len(findings) != 0 {
+		dump(t, findings)
+		t.Errorf("findings = %d, want 0", len(findings))
+	}
+}
+
 // TestRepoIsClean runs the full analysis over the repository and demands
 // zero findings — the same gate scripts/check.sh enforces.
 func TestRepoIsClean(t *testing.T) {

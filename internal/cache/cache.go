@@ -11,8 +11,21 @@ import (
 	"sync"
 	"time"
 
+	"vizq/internal/obs"
 	"vizq/internal/query"
 	"vizq/internal/tde/exec"
+)
+
+// Cache-tier metrics, shared process-wide: the hit-tier counters are how
+// the per-stage latency story of Sect. 3.2 becomes visible at runtime.
+var (
+	cLitHits    = obs.C("cache.literal.hits")
+	cLitMisses  = obs.C("cache.literal.misses")
+	cLitEvicts  = obs.C("cache.literal.evictions")
+	cIntExact   = obs.C("cache.intelligent.exact_hits")
+	cIntDerived = obs.C("cache.intelligent.derived_hits")
+	cIntMisses  = obs.C("cache.intelligent.misses")
+	cIntEvicts  = obs.C("cache.intelligent.evictions")
 )
 
 // Entry is one cached query result with the bookkeeping eviction needs:
@@ -88,11 +101,13 @@ func (c *LiteralCache) Get(text string) (*exec.Result, bool) {
 	e, ok := c.entries[text]
 	if !ok {
 		c.stats.Misses++
+		cLitMisses.Inc()
 		return nil, false
 	}
 	e.Uses++
 	e.LastUsed = c.clock()
 	c.stats.ExactHits++
+	cLitHits.Inc()
 	return e.Result, true
 }
 
@@ -152,6 +167,7 @@ func (c *LiteralCache) evictLocked() {
 		delete(c.entries, worstKey)
 		c.curBytes -= worst.sizeBytes()
 		c.stats.Evictions++
+		cLitEvicts.Inc()
 	}
 }
 
@@ -189,6 +205,7 @@ func (c *IntelligentCache) Get(q *query.Query) (*exec.Result, bool) {
 		e.Uses++
 		e.LastUsed = now
 		c.stats.ExactHits++
+		cIntExact.Inc()
 		// Exact key match may still need projection/ordering when the
 		// stored query was adjusted; Derive handles identity cheaply.
 		if res, ok := Derive(e.Query, e.Result, q); ok {
@@ -212,6 +229,7 @@ func (c *IntelligentCache) Get(q *query.Query) (*exec.Result, bool) {
 				best.Uses++
 				best.LastUsed = now
 				c.stats.DerivedHits++
+				cIntDerived.Inc()
 				return res, true
 			}
 		}
@@ -221,11 +239,13 @@ func (c *IntelligentCache) Get(q *query.Query) (*exec.Result, bool) {
 				e.Uses++
 				e.LastUsed = now
 				c.stats.DerivedHits++
+				cIntDerived.Inc()
 				return res, true
 			}
 		}
 	}
 	c.stats.Misses++
+	cIntMisses.Inc()
 	return nil, false
 }
 
@@ -311,5 +331,6 @@ func (c *IntelligentCache) evictLocked() {
 		}
 		c.removeLocked(worst)
 		c.stats.Evictions++
+		cIntEvicts.Inc()
 	}
 }

@@ -5,8 +5,15 @@ import (
 	"time"
 
 	"vizq/internal/kvstore"
+	"vizq/internal/obs"
 	"vizq/internal/query"
 	"vizq/internal/tde/exec"
+)
+
+// Distributed-tier metrics, shared process-wide.
+var (
+	cDistHits   = obs.C("cache.distributed.hits")
+	cDistMisses = obs.C("cache.distributed.misses")
 )
 
 // Distributed layers a node-local intelligent cache over a shared networked
@@ -42,14 +49,17 @@ func (d *Distributed) Get(q *query.Query) (*exec.Result, bool) {
 	data, ok, err := d.Remote.Get(q.Key())
 	if err != nil || !ok {
 		d.remoteMisses.Add(1)
+		cDistMisses.Inc()
 		return nil, false
 	}
 	sq, sres, cost, err := DecodeEntry(data)
 	if err != nil {
 		d.remoteMisses.Add(1)
+		cDistMisses.Inc()
 		return nil, false
 	}
 	d.remoteHits.Add(1)
+	cDistHits.Inc()
 	// Warm the local tier: future queries on this node can match by
 	// subsumption, not only by exact key.
 	d.Local.Put(sq, sres, cost)

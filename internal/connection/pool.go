@@ -9,11 +9,25 @@ package connection
 import (
 	"context"
 	"errors"
+	"io"
+	"net"
 	"sync"
 	"time"
 
+	"vizq/internal/obs"
 	"vizq/internal/remote"
 	"vizq/internal/tde/exec"
+)
+
+// Pool metrics, shared process-wide across pools.
+var (
+	mWaitNS   = obs.H("pool.acquire.wait.ns")
+	gLive     = obs.G("pool.live")
+	cDials    = obs.C("pool.dials")
+	cDialErrs = obs.C("pool.dial_errors")
+	cReuses   = obs.C("pool.reuses")
+	cEvicts   = obs.C("pool.evictions")
+	cDiscards = obs.C("pool.discards")
 )
 
 // PoolConfig tunes a pool.
@@ -27,11 +41,14 @@ type PoolConfig struct {
 	MaxAge time.Duration
 }
 
-// Stats counts pool activity.
+// Stats counts pool activity. Successful dials split exactly into the live
+// connections plus the retired ones: Dials == Live + Evictions + Discards.
 type Stats struct {
-	Dials     int64
-	Reuses    int64
-	Evictions int64
+	Dials      int64 // successful dials
+	DialErrors int64 // failed dial attempts (no connection resulted)
+	Reuses     int64
+	Evictions  int64 // healthy connections retired by age/idle policy or pool close
+	Discards   int64 // broken connections dropped after a transport error
 }
 
 // Pool maintains connections to one data source.
@@ -68,6 +85,10 @@ func (p *Pool) Stats() Stats {
 // Acquire returns a connection, reusing an idle one, dialing a new one, or
 // waiting for a release when the pool is at capacity.
 func (p *Pool) Acquire(ctx context.Context) (*remote.Conn, error) {
+	_, sp := obs.StartSpan(ctx, obs.SpanPoolAcquire)
+	defer sp.Finish()
+	start := time.Now()
+	defer func() { mWaitNS.ObserveDuration(time.Since(start)) }()
 	for {
 		p.mu.Lock()
 		if p.closed {
@@ -80,23 +101,33 @@ func (p *Pool) Acquire(ctx context.Context) (*remote.Conn, error) {
 			p.idle = p.idle[:n-1]
 			p.stats.Reuses++
 			p.mu.Unlock()
+			cReuses.Inc()
+			sp.Annotate("via", "reuse")
 			return c, nil
 		}
 		if p.live < p.cfg.Max {
 			p.live++
-			p.stats.Dials++
 			p.mu.Unlock()
 			c, err := remote.Dial(p.addr)
 			if err != nil {
 				p.mu.Lock()
 				p.live--
+				p.stats.DialErrors++
 				p.mu.Unlock()
+				cDialErrs.Inc()
 				p.signal()
 				return nil, err
 			}
+			p.mu.Lock()
+			p.stats.Dials++
+			p.mu.Unlock()
+			cDials.Inc()
+			gLive.Add(1)
+			sp.Annotate("via", "dial")
 			return c, nil
 		}
 		p.mu.Unlock()
+		sp.Annotate("via", "wait")
 		select {
 		case <-p.waiter:
 		case <-ctx.Done():
@@ -105,15 +136,26 @@ func (p *Pool) Acquire(ctx context.Context) (*remote.Conn, error) {
 	}
 }
 
-// Release returns a connection to the pool (or closes it when aged out).
+// Release returns a connection to the pool. Broken connections (the remote
+// client marks them closed on any transport error) are discarded; healthy
+// ones aged past MaxAge are evicted.
 func (p *Pool) Release(c *remote.Conn) {
 	p.mu.Lock()
-	if p.closed || c.Closed() || (p.cfg.MaxAge > 0 && c.Age() > p.cfg.MaxAge) {
+	switch {
+	case c.Closed():
 		p.live--
-		if !c.Closed() {
-			p.stats.Evictions++
-		}
+		p.stats.Discards++
 		p.mu.Unlock()
+		cDiscards.Inc()
+		gLive.Add(-1)
+		p.signal()
+		return
+	case p.closed || (p.cfg.MaxAge > 0 && c.Age() > p.cfg.MaxAge):
+		p.live--
+		p.stats.Evictions++
+		p.mu.Unlock()
+		cEvicts.Inc()
+		gLive.Add(-1)
 		c.Close()
 		p.signal()
 		return
@@ -127,7 +169,10 @@ func (p *Pool) Release(c *remote.Conn) {
 func (p *Pool) Discard(c *remote.Conn) {
 	p.mu.Lock()
 	p.live--
+	p.stats.Discards++
 	p.mu.Unlock()
+	cDiscards.Inc()
+	gLive.Add(-1)
 	c.Close()
 	p.signal()
 }
@@ -150,6 +195,8 @@ func (p *Pool) evictLocked() {
 			c.Close()
 			p.live--
 			p.stats.Evictions++
+			cEvicts.Inc()
+			gLive.Add(-1)
 			continue
 		}
 		kept = append(kept, c)
@@ -177,18 +224,44 @@ func (p *Pool) Query(ctx context.Context, tql string) (*exec.Result, error) {
 	return res, nil
 }
 
+// isTransport reports whether err means the connection itself is suspect:
+// the peer hung up (EOF/reset/closed), the socket misbehaved (net.OpError),
+// or the request was abandoned mid-flight (timeout/cancellation) leaving a
+// response frame potentially still on the wire. Query-level errors — the
+// server answered with a well-formed error response — return false.
 func isTransport(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var op *net.OpError
+	if errors.As(err, &op) {
+		return true
+	}
 	var ne interface{ Timeout() bool }
-	return errors.As(err, &ne) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // Close shuts the pool and all idle connections.
 func (p *Pool) Close() {
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
 	p.closed = true
 	idle := p.idle
 	p.idle = nil
+	p.live -= len(idle)
+	p.stats.Evictions += int64(len(idle))
 	p.mu.Unlock()
+	cEvicts.Add(int64(len(idle)))
+	gLive.Add(-int64(len(idle)))
 	for _, c := range idle {
 		c.Close()
 	}

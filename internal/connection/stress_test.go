@@ -1,0 +1,175 @@
+package connection
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"vizq/internal/remote"
+	"vizq/internal/tde/engine"
+	"vizq/internal/workload"
+)
+
+// chaosProxy relays TCP connections to a backend and kills a deterministic
+// fraction of them after a short random delay, simulating mid-query network
+// failures. It is protocol-agnostic: the pool under test sees genuine
+// EOF/reset transport errors, exactly what a dying database produces.
+type chaosProxy struct {
+	ln      net.Listener
+	backend string
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	closed bool
+}
+
+func newChaosProxy(t *testing.T, backend string, seed int64) *chaosProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &chaosProxy{ln: ln, backend: backend}
+	go p.acceptLoop(seed)
+	return p
+}
+
+func (p *chaosProxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *chaosProxy) acceptLoop(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		// Decide this connection's fate up front so the accept loop owns
+		// all randomness (rng is not goroutine-safe).
+		kill := rng.Intn(2) == 0
+		delay := time.Duration(1+rng.Intn(20)) * time.Millisecond
+		server, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.track(client, server)
+		go func() { _, _ = io.Copy(server, client); server.Close() }()
+		go func() { _, _ = io.Copy(client, server); client.Close() }()
+		if kill {
+			go func() {
+				time.Sleep(delay)
+				client.Close()
+				server.Close()
+			}()
+		}
+	}
+}
+
+func (p *chaosProxy) track(cs ...net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		for _, c := range cs {
+			c.Close()
+		}
+		return
+	}
+	p.conns = append(p.conns, cs...)
+}
+
+func (p *chaosProxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// TestPoolStressWithTransportErrors hammers one pool from many goroutines
+// through a proxy that kills half the connections mid-flight. Whatever mix
+// of successes, transport errors and dial errors results, the pool must
+// neither leak connections nor lose count: Live() stays within Max, every
+// broken connection is discarded rather than pooled, and the stats identity
+// Dials == Live + Evictions + Discards holds at every quiescent point.
+// Run under -race this also shakes out torn counter updates.
+func TestPoolStressWithTransportErrors(t *testing.T) {
+	db, err := workload.BuildFlightsDB(workload.FlightsConfig{Rows: 2000, Days: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := remote.NewServer(engine.New(db), remote.Config{Latency: 5 * time.Millisecond})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	proxy := newChaosProxy(t, srv.Addr(), 42)
+	defer proxy.Close()
+
+	p := NewPool(proxy.Addr(), PoolConfig{Max: 4})
+	defer p.Close()
+
+	const workers = 8
+	const queriesPerWorker = 15
+	var wg sync.WaitGroup
+	var okCount, errCount int64
+	var cnt sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < queriesPerWorker; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				_, err := p.Query(ctx,
+					`(aggregate (table flights) (groupby carrier) (aggs (n count *)))`)
+				cancel()
+				cnt.Lock()
+				if err != nil {
+					errCount++
+				} else {
+					okCount++
+				}
+				cnt.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if okCount == 0 {
+		t.Fatal("no query ever succeeded: proxy or backend misconfigured")
+	}
+	if errCount == 0 {
+		t.Fatal("no query ever failed: the chaos proxy injected no faults")
+	}
+
+	st := p.Stats()
+	if st.Discards == 0 {
+		t.Fatal("transport errors occurred but no connection was discarded")
+	}
+	if live := p.Live(); live > 4 {
+		t.Fatalf("pool leaked connections: Live() = %d > Max 4", live)
+	}
+	if got, want := st.Dials, int64(p.Live())+st.Evictions+st.Discards; got != want {
+		t.Fatalf("stats identity broken after stress: Dials=%d, Live+Evictions+Discards=%d (live=%d ev=%d disc=%d)",
+			got, want, p.Live(), st.Evictions, st.Discards)
+	}
+
+	// Closing the pool retires the idle connections as evictions; the
+	// identity must survive shutdown too.
+	p.Close()
+	if live := p.Live(); live != 0 {
+		t.Fatalf("Live() = %d after Close, want 0", live)
+	}
+	st = p.Stats()
+	if got, want := st.Dials, st.Evictions+st.Discards; got != want {
+		t.Fatalf("stats identity broken after Close: Dials=%d, Evictions+Discards=%d", got, want)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vizq/internal/cache"
+	"vizq/internal/obs"
 	"vizq/internal/query"
 	"vizq/internal/tde/exec"
 )
@@ -32,19 +33,26 @@ func (p *Processor) ExecuteBatch(ctx context.Context, batch []*query.Query) ([]*
 			return nil, err
 		}
 	}
+	ctx, sp := obs.StartSpan(ctx, obs.SpanBatch)
+	defer sp.Finish()
+	sp.Annotatef("queries", "%d", len(batch))
+	mBatchSize.Observe(int64(len(batch)))
 
 	// Phase 0: cache hits answer immediately.
 	var pending []int
+	_, probe := obs.StartSpan(ctx, obs.SpanCacheProbe)
 	for i, q := range batch {
 		if !p.opt.DisableIntelligentCache {
 			if res, ok := p.intelligent.Get(q); ok {
 				atomic.AddInt64(&p.stats.CacheHits, 1)
+				cCacheHits.Inc()
 				results[i] = res
 				continue
 			}
 		}
 		pending = append(pending, i)
 	}
+	probe.Finish()
 	if len(pending) == 0 {
 		return results, nil
 	}
@@ -62,6 +70,7 @@ func (p *Processor) ExecuteBatch(ctx context.Context, batch []*query.Query) ([]*
 
 	// Phase 1: the cache-hit opportunity graph (Fig. 3). pred[j] holds the
 	// pending indices whose results can answer j.
+	_, plan := obs.StartSpan(ctx, obs.SpanFuse)
 	pred := p.opportunityGraph(batch, pending)
 	var remoteIdx, localIdx []int
 	for _, i := range pending {
@@ -74,6 +83,10 @@ func (p *Processor) ExecuteBatch(ctx context.Context, batch []*query.Query) ([]*
 
 	// Phase 2: fuse projection-variant remote queries.
 	groups := p.fuseGroups(batch, remoteIdx)
+	plan.Annotatef("remote", "%d", len(remoteIdx))
+	plan.Annotatef("local", "%d", len(localIdx))
+	plan.Annotatef("groups", "%d", len(groups))
+	plan.Finish()
 
 	// Phase 3: concurrent remote submission. done[i] closes when query i's
 	// result is cached and available.
@@ -201,6 +214,7 @@ func (p *Processor) fuseGroups(batch []*query.Query, remoteIdx []int) []fuseGrou
 		} else {
 			mergeMeasures(b.fused, q)
 			atomic.AddInt64(&p.stats.FusedAway, 1)
+			cFusedAway.Inc()
 		}
 		b.members = append(b.members, i)
 	}
@@ -252,6 +266,8 @@ func (p *Processor) runFused(ctx context.Context, batch []*query.Query, g fuseGr
 		}
 		return
 	}
+	_, pp := obs.StartSpan(ctx, obs.SpanPostProcess)
+	defer pp.Finish()
 	for _, i := range g.members {
 		derived, ok := cache.Derive(sent, res, batch[i])
 		if !ok {
@@ -269,6 +285,8 @@ func (p *Processor) runFused(ctx context.Context, batch []*query.Query, g fuseGr
 // the cache; if derivation unexpectedly fails it falls back to a remote
 // execution.
 func (p *Processor) answerLocal(ctx context.Context, batch []*query.Query, j int, preds []int, done map[int]chan struct{}, results []*exec.Result, errs []error) {
+	ctx, sp := obs.StartSpan(ctx, obs.SpanLocalAnswer)
+	defer sp.Finish()
 	waited := false
 	for _, i := range preds {
 		ch, ok := done[i]
@@ -285,6 +303,7 @@ func (p *Processor) answerLocal(ctx context.Context, batch []*query.Query, j int
 		if !p.opt.DisableIntelligentCache {
 			if res, ok := p.intelligent.Get(batch[j]); ok {
 				atomic.AddInt64(&p.stats.LocalAnswers, 1)
+				cLocal.Inc()
 				results[j] = res
 				return
 			}

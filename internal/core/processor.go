@@ -15,10 +15,22 @@ import (
 
 	"vizq/internal/cache"
 	"vizq/internal/connection"
+	"vizq/internal/obs"
 	"vizq/internal/query"
 	"vizq/internal/tde/exec"
 	"vizq/internal/tde/plan"
 	"vizq/internal/tde/storage"
+)
+
+// Pipeline metrics, shared process-wide.
+var (
+	mBatchSize   = obs.H("core.batch.size")
+	cRemoteSent  = obs.C("core.remote_queries")
+	cCacheHits   = obs.C("core.cache_hits")
+	cLiteralHits = obs.C("core.literal_hits")
+	cFusedAway   = obs.C("core.fused_away")
+	cLocal       = obs.C("core.local_answers")
+	cTempTables  = obs.C("core.temp_tables")
 )
 
 // QueryCache is the intelligent-cache surface the processor needs; both
@@ -112,9 +124,16 @@ func (p *Processor) Execute(ctx context.Context, q *query.Query) (*exec.Result, 
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.StartSpan(ctx, obs.SpanQuery)
+	defer sp.Finish()
 	if !p.opt.DisableIntelligentCache {
-		if res, ok := p.intelligent.Get(q); ok {
+		_, ps := obs.StartSpan(ctx, obs.SpanCacheProbe)
+		res, ok := p.intelligent.Get(q)
+		ps.Finish()
+		if ok {
 			atomic.AddInt64(&p.stats.CacheHits, 1)
+			cCacheHits.Inc()
+			sp.Annotate("answer", "cache")
 			return res, nil
 		}
 	}
@@ -145,8 +164,12 @@ func (p *Processor) executeRemote(ctx context.Context, q *query.Query) (*exec.Re
 	}
 	text := q.ToTQL()
 	if !p.opt.DisableLiteralCache {
-		if res, ok := p.literal.Get(text); ok {
+		_, ps := obs.StartSpan(ctx, obs.SpanCacheProbe)
+		res, ok := p.literal.Get(text)
+		ps.Finish()
+		if ok {
 			atomic.AddInt64(&p.stats.LiteralHits, 1)
+			cLiteralHits.Inc()
 			return res, nil
 		}
 	}
@@ -157,6 +180,7 @@ func (p *Processor) executeRemote(ctx context.Context, q *query.Query) (*exec.Re
 	}
 	cost := time.Since(start)
 	atomic.AddInt64(&p.stats.RemoteQueries, 1)
+	cRemoteSent.Inc()
 	if !p.opt.DisableLiteralCache {
 		p.literal.Put(text, res, cost)
 	}
@@ -185,6 +209,8 @@ func (p *Processor) bigFilters(q *query.Query) []int {
 // structures", Sect. 3.1). The query must run on the connection holding the
 // temp tables, so the pipeline pins one for the duration.
 func (p *Processor) executeWithTempTables(ctx context.Context, q *query.Query, big []int) (*exec.Result, error) {
+	ctx, sp := obs.StartSpan(ctx, obs.SpanTempTable)
+	defer sp.Finish()
 	conn, err := p.pool.Acquire(ctx)
 	if err != nil {
 		return nil, err
@@ -221,6 +247,7 @@ func (p *Processor) executeWithTempTables(ctx context.Context, q *query.Query, b
 			return nil, err
 		}
 		atomic.AddInt64(&p.stats.TempTables, 1)
+		cTempTables.Inc()
 		rewritten.View.Joins = append(rewritten.View.Joins, query.JoinSpec{
 			Table: name, LeftCol: f.Col, RightCol: "val",
 		})
@@ -233,6 +260,7 @@ func (p *Processor) executeWithTempTables(ctx context.Context, q *query.Query, b
 		return nil, err
 	}
 	atomic.AddInt64(&p.stats.RemoteQueries, 1)
+	cRemoteSent.Inc()
 	// Cache under the ORIGINAL structure: the temp-table join is an
 	// execution detail, the semantics are the original filters.
 	if !p.opt.DisableIntelligentCache {

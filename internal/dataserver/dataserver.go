@@ -18,10 +18,17 @@ import (
 	"vizq/internal/cache"
 	"vizq/internal/connection"
 	"vizq/internal/core"
+	"vizq/internal/obs"
 	"vizq/internal/query"
 	"vizq/internal/tde/exec"
 	"vizq/internal/tde/plan"
 	"vizq/internal/tde/storage"
+)
+
+// Data Server metrics, shared process-wide.
+var (
+	cDSQueries = obs.C("ds.queries")
+	cDSLocal   = obs.C("ds.local_answers")
 )
 
 // PublishedSource is a data source published to the server: a view of the
@@ -298,6 +305,9 @@ func (c *ClientConn) Query(ctx context.Context, q *query.Query) (*exec.Result, e
 	c.srv.mu.Lock()
 	c.srv.stats.Queries++
 	c.srv.mu.Unlock()
+	cDSQueries.Inc()
+	ctx, sp := obs.StartSpan(ctx, obs.SpanDSQuery)
+	defer sp.Finish()
 
 	rq := q.Clone()
 	rq.DataSource = c.source.Name
@@ -313,6 +323,8 @@ func (c *ClientConn) Query(ctx context.Context, q *query.Query) (*exec.Result, e
 			c.srv.mu.Lock()
 			c.srv.stats.LocalAnswers++
 			c.srv.mu.Unlock()
+			cDSLocal.Inc()
+			sp.Annotate("answer", "local-temp")
 		}
 		return res, err
 	}

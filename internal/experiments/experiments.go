@@ -8,10 +8,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
+	"vizq/internal/obs"
 	"vizq/internal/remote"
 	"vizq/internal/tde/engine"
 	"vizq/internal/workload"
@@ -56,6 +58,10 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Stages is an optional per-stage latency breakdown from one traced
+	// pass run after the timed measurements; tracing never runs inside a
+	// measured loop, so the medians above stay comparable across runs.
+	Stages string
 }
 
 // String renders the table as aligned text.
@@ -91,6 +97,10 @@ func (t *Table) String() string {
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if t.Stages != "" {
+		b.WriteString("stage breakdown (one traced pass, untimed):\n")
+		b.WriteString(t.Stages)
 	}
 	return b.String()
 }
@@ -153,6 +163,17 @@ func speedup(base, other time.Duration) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.1fx", float64(base)/float64(other))
+}
+
+// traceOnce runs f once under a fresh tracer and returns the aggregated
+// per-stage breakdown. It runs after an experiment's timed loops so the
+// tracing overhead never contaminates the reported medians.
+func traceOnce(f func(ctx context.Context) error) (string, error) {
+	tr := obs.New()
+	if err := f(obs.WithTracer(context.Background(), tr)); err != nil {
+		return "", err
+	}
+	return obs.FormatStages(tr.Stages()), nil
 }
 
 // startRemote spins a simulated remote database over a flights dataset.

@@ -96,6 +96,16 @@ func E1BatchProcessing(s Scale) (*Table, error) {
 		t.Rows = append(t.Rows, []string{v.name, fmt.Sprint(sent), ms(elapsed), speedup(serialTime, elapsed)})
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("remote latency %v, backend rows %d", s.Latency, s.RemoteRows))
+	stages, err := traceOnce(func(ctx context.Context) error {
+		proc, pool := newPipeline(srv.Addr(), 8, core.DefaultOptions())
+		defer pool.Close()
+		_, err := proc.ExecuteBatch(ctx, fig3Batch())
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Stages = stages
 	return t, nil
 }
 
@@ -214,6 +224,22 @@ func E3ConcurrentConnections(s Scale) (*Table, error) {
 			}
 			t.Rows = append(t.Rows, []string{b.name, fmt.Sprint(poolSize), ms(elapsed), speedup(base, elapsed)})
 		}
+		if t.Stages == "" {
+			// One traced pass on the first backend at full pool width shows
+			// where batch time goes (pool wait vs remote round-trips).
+			stages, err := traceOnce(func(ctx context.Context) error {
+				proc, pool := newPipeline(srv.Addr(), 8,
+					core.Options{DisableIntelligentCache: true, DisableLiteralCache: true, DisableFusion: true})
+				defer pool.Close()
+				_, err := proc.ExecuteBatch(ctx, batch)
+				return err
+			})
+			if err != nil {
+				srv.Close()
+				return nil, err
+			}
+			t.Stages = stages
+		}
 		srv.Close()
 	}
 	return t, nil
@@ -315,5 +341,21 @@ func E4QueryCaching(s Scale) (*Table, error) {
 	}
 	t.Notes = append(t.Notes,
 		"each user issues 1 broad query + 4 filter drills + 1 roll-up; drills and roll-ups are subsumed by the broad query")
+	stages, err := traceOnce(func(ctx context.Context) error {
+		// One user's full sequence on a fresh intelligent-cache node: the
+		// breakdown shows one remote round-trip and cache-probe answers for
+		// the subsumed drills.
+		proc := core.NewProcessor(mkPool(4), nil, nil, core.Options{})
+		for _, q := range userQueries() {
+			if _, err := proc.Execute(ctx, q); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Stages = stages
 	return t, nil
 }

@@ -9,7 +9,14 @@ import (
 	"sync"
 	"time"
 
+	"vizq/internal/obs"
 	"vizq/internal/tde/exec"
+)
+
+// Round-trip metrics, shared process-wide.
+var (
+	mRoundTripNS = obs.H("remote.roundtrip.ns")
+	cBroken      = obs.C("remote.conns_broken")
 )
 
 // Conn is one client connection to a simulated remote database. A single
@@ -70,6 +77,11 @@ func (c *Conn) IdleFor() time.Duration {
 }
 
 func (c *Conn) roundTrip(ctx context.Context, req *Request) (*Response, error) {
+	_, sp := obs.StartSpan(ctx, obs.SpanRemote)
+	defer sp.Finish()
+	sp.Annotate("op", string(req.Op))
+	start := time.Now()
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -81,17 +93,34 @@ func (c *Conn) roundTrip(ctx context.Context, req *Request) (*Response, error) {
 		_ = c.conn.SetDeadline(time.Time{})
 	}
 	if err := writeFrame(c.w, req); err != nil {
+		c.breakLocked()
 		return nil, err
 	}
 	resp, err := readFrame[Response](c.r)
 	if err != nil {
+		c.breakLocked()
 		return nil, err
 	}
 	c.lastUse = time.Now()
+	mRoundTripNS.ObserveDuration(time.Since(start))
 	if resp.Err != "" {
 		return nil, fmt.Errorf("remote: %s", resp.Err)
 	}
 	return resp, nil
+}
+
+// breakLocked takes the connection out of service after a transport fault.
+// On a deadline-exceeded read the response frame may still be in flight; a
+// reused connection would read that stale frame as the answer to its next
+// request (cross-request frame bleed), so any write/read error is terminal.
+// Callers hold c.mu, hence the direct conn.Close rather than c.Close.
+func (c *Conn) breakLocked() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	cBroken.Inc()
+	_ = c.conn.Close()
 }
 
 // Ping checks liveness.

@@ -32,6 +32,7 @@ type mergeHead struct {
 }
 
 func newMergeExchangeOp(ctx context.Context, children []Operator, keys []plan.SortKey, schema []plan.ColInfo) *mergeExchangeOp {
+	mExchDOP.Observe(int64(len(children)))
 	cctx, cancel := context.WithCancel(ctx)
 	m := &mergeExchangeOp{ctx: cctx, cancel: cancel, keys: keys, schema: schema, children: children}
 	m.heads = make([]*mergeHead, len(children))

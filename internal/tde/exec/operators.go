@@ -7,8 +7,15 @@ import (
 	"sync"
 	"time"
 
+	"vizq/internal/obs"
 	"vizq/internal/tde/plan"
 	"vizq/internal/tde/storage"
+)
+
+// Executor metrics, shared process-wide.
+var (
+	mExchDOP  = obs.H("exec.exchange.dop")
+	mScanRows = obs.H("exec.scan.batch_rows")
 )
 
 // Operator is a Volcano iterator producing row batches. Next returns nil at
@@ -228,7 +235,9 @@ func (s *scanOp) Next() (*storage.Batch, error) {
 			cols[i] = s.node.Table.Cols[ci].ScanRange(int(s.pos), int(to))
 		}
 		s.pos = to
-		return storage.NewBatch(cols), nil
+		b := storage.NewBatch(cols)
+		mScanRows.Observe(int64(b.N))
+		return b, nil
 	}
 	return nil, nil
 }
@@ -347,6 +356,7 @@ type exchangeOp struct {
 }
 
 func newExchangeOp(ctx context.Context, childs []Operator) *exchangeOp {
+	mExchDOP.Observe(int64(len(childs)))
 	cctx, cancel := context.WithCancel(ctx)
 	return &exchangeOp{ctx: cctx, cancel: cancel, childs: childs,
 		ch: make(chan exchResult, len(childs))}

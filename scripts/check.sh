@@ -25,4 +25,7 @@ else
     go test ./...
 fi
 
+echo "== metrics smoke (loadsim -metrics json)"
+scripts/metrics_smoke.sh
+
 echo "OK"

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Metrics smoke test: a short loadsim run must produce well-formed,
+# non-empty metrics. The instrumentation layer is load-bearing for the
+# benchrunner stage breakdowns, so an accidentally dead counter path
+# should fail the gate, not ship. Run from the repo root (scripts/check.sh
+# and CI both do).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(go run ./cmd/loadsim -users 2 -interactions 1 -rows 5000 -latency 1ms -metrics json)"
+# The JSON dump follows the human-readable report; it starts at the first
+# line holding a lone "{".
+metrics_json="$(awk 'f||/^\{$/{f=1;print}' <<<"$out")"
+if [[ -z "$metrics_json" ]]; then
+    echo "metrics smoke FAILED: no JSON object in loadsim -metrics json output" >&2
+    exit 1
+fi
+for key in '"remote.roundtrip.ns"' '"pool.acquire.wait.ns"' '"core.batch.size"' '"cache.literal.hits"'; do
+    if ! grep -q "$key" <<<"$metrics_json"; then
+        echo "metrics smoke FAILED: $key missing from loadsim -metrics json output" >&2
+        exit 1
+    fi
+done
+if ! python3 -c 'import json,sys; json.load(sys.stdin)' <<<"$metrics_json" 2>/dev/null; then
+    echo "metrics smoke FAILED: loadsim -metrics json emitted malformed JSON" >&2
+    exit 1
+fi
+echo "metrics smoke OK"
