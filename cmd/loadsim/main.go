@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"vizq/internal/cache"
 	"vizq/internal/connection"
 	"vizq/internal/core"
 	"vizq/internal/obs"
@@ -61,7 +62,9 @@ func main() {
 			opt = core.DefaultOptions()
 		}
 		pool := connection.NewPool(srv.Addr(), connection.PoolConfig{Max: 8})
-		proc := core.NewProcessor(pool, nil, nil, opt)
+		intel := cache.NewIntelligentCache(cache.DefaultOptions())
+		lit := cache.NewLiteralCache(cache.DefaultOptions())
+		proc := core.NewProcessor(pool, intel, lit, opt)
 		backendBefore := srv.Stats().Queries
 
 		rng := rand.New(rand.NewSource(*seed))
@@ -105,8 +108,12 @@ func main() {
 		fmt.Printf("%s  users=%d interactions=%d\n", mode, *users, *interactions)
 		fmt.Printf("  initial load  p50=%v p95=%v\n", pct(loadTimes, 50), pct(loadTimes, 95))
 		fmt.Printf("  interaction   p50=%v p95=%v\n", pct(interactTimes, 50), pct(interactTimes, 95))
-		fmt.Printf("  wall=%v backendQueries=%d cacheHits=%d localAnswers=%d fused=%d\n\n",
+		fmt.Printf("  wall=%v backendQueries=%d cacheHits=%d localAnswers=%d fused=%d\n",
 			wall.Round(time.Millisecond), backend, st.CacheHits, st.LocalAnswers, st.FusedAway)
+		ist, lst := intel.Stats(), lit.Stats()
+		fmt.Printf("  cache shards  intelligent=%d literal=%d  evictions=%d/%d\n",
+			intel.Shards(), lit.Shards(), ist.Evictions, lst.Evictions)
+		fmt.Printf("  singleflight  leader=%d shared=%d\n\n", st.FlightLeader, st.FlightShared)
 		if *trace {
 			if err := traceUser(proc, *interactions); err != nil {
 				log.Fatal(err)

@@ -3,12 +3,16 @@
 // intelligent cache, a semantic view-matching component that answers a new
 // query from a stored result when the stored query provably subsumes it,
 // applying local post-processing (roll-up, filtering, projection). It also
-// provides persistence (Desktop) and a distributed layer over a networked
-// key-value store (Server).
+// provides persistence (Desktop), a distributed layer over a networked
+// key-value store (Server), and a single-flight layer that coalesces
+// concurrent identical remote executions.
+//
+// Both caches are sharded (see shard.go) so concurrent server workloads do
+// not serialize behind one mutex, and use sampled eviction so eviction cost
+// is independent of cache size.
 package cache
 
 import (
-	"sync"
 	"time"
 
 	"vizq/internal/obs"
@@ -58,6 +62,13 @@ type Stats struct {
 	Evictions   int64
 }
 
+func (s *Stats) add(o Stats) {
+	s.ExactHits += o.ExactHits
+	s.DerivedHits += o.DerivedHits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+}
+
 // Options bounds a cache.
 type Options struct {
 	MaxEntries int
@@ -70,6 +81,12 @@ type Options struct {
 	// accepting the first match. The paper ships first-match and names
 	// best-match as the planned improvement (Sect. 3.2).
 	BestMatch bool
+	// Shards is the lock-stripe count (0 = default). The effective count is
+	// clamped so each shard can hold at least one entry and one
+	// maximum-size result; Shards=1 restores single-mutex behaviour (and
+	// with it, exact cache-wide budget enforcement — sharded budgets are
+	// enforced per shard).
+	Shards int
 }
 
 // DefaultOptions sizes caches for a desktop session.
@@ -79,36 +96,30 @@ func DefaultOptions() Options {
 
 // LiteralCache maps low-level query text to results: it catches internal
 // queries "that end up having the same textual representation but where a
-// match could not be proven upfront".
+// match could not be proven upfront". Shards are selected by text hash.
 type LiteralCache struct {
-	mu       sync.Mutex
-	opt      Options
-	entries  map[string]*Entry
-	curBytes int64
-	stats    Stats
-	clock    func() time.Time
+	opt    Options
+	shards []*litShard
 }
 
 // NewLiteralCache creates a literal cache.
 func NewLiteralCache(opt Options) *LiteralCache {
-	return &LiteralCache{opt: opt, entries: make(map[string]*Entry), clock: time.Now}
+	n := shardCount(opt)
+	sopt := perShardOptions(opt, n)
+	c := &LiteralCache{opt: opt, shards: make([]*litShard, n)}
+	for i := range c.shards {
+		c.shards[i] = &litShard{opt: sopt, entries: make(map[string]*Entry), clock: time.Now}
+	}
+	return c
+}
+
+func (c *LiteralCache) shardFor(text string) *litShard {
+	return c.shards[shardIndex(text, len(c.shards))]
 }
 
 // Get looks up a query text.
 func (c *LiteralCache) Get(text string) (*exec.Result, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[text]
-	if !ok {
-		c.stats.Misses++
-		cLitMisses.Inc()
-		return nil, false
-	}
-	e.Uses++
-	e.LastUsed = c.clock()
-	c.stats.ExactHits++
-	cLitHits.Inc()
-	return e.Result, true
+	return c.shardFor(text).get(text)
 }
 
 // Put stores a result under its text.
@@ -116,81 +127,91 @@ func (c *LiteralCache) Put(text string, res *exec.Result, cost time.Duration) {
 	if c.opt.MaxResultBytes > 0 && res.SizeBytes() > c.opt.MaxResultBytes {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	now := c.clock()
-	if old, ok := c.entries[text]; ok {
-		c.curBytes -= old.sizeBytes()
-	}
-	e := &Entry{Text: text, Result: res, Cost: cost, Created: now, LastUsed: now}
-	c.entries[text] = e
-	c.curBytes += e.sizeBytes()
-	c.evictLocked()
+	c.shardFor(text).put(text, res, cost)
 }
 
 // Clear empties the cache (connection closed or refreshed).
 func (c *LiteralCache) Clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]*Entry)
-	c.curBytes = 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.entries = make(map[string]*Entry)
+		s.curBytes = 0
+		s.mu.Unlock()
+	}
 }
 
 // Len returns the number of entries.
 func (c *LiteralCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns counters.
+// Shards reports the effective lock-stripe count.
+func (c *LiteralCache) Shards() int { return len(c.shards) }
+
+// Stats returns counters aggregated across shards.
 func (c *LiteralCache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var st Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.add(s.stats)
+		s.mu.Unlock()
+	}
+	return st
 }
 
-func (c *LiteralCache) evictLocked() {
-	now := c.clock()
-	for (c.opt.MaxEntries > 0 && len(c.entries) > c.opt.MaxEntries) ||
-		(c.opt.MaxBytes > 0 && c.curBytes > c.opt.MaxBytes) {
-		var worst *Entry
-		var worstKey string
-		for k, e := range c.entries {
-			if worst == nil || e.score(now) < worst.score(now) {
-				worst, worstKey = e, k
-			}
-		}
-		if worst == nil {
-			return
-		}
-		delete(c.entries, worstKey)
-		c.curBytes -= worst.sizeBytes()
-		c.stats.Evictions++
-		cLitEvicts.Inc()
+// setClock pins the cache's clock (tests).
+func (c *LiteralCache) setClock(fn func() time.Time) {
+	for _, s := range c.shards {
+		s.clock = fn
 	}
 }
 
+// snapshot copies all live entries (persistence).
+func (c *LiteralCache) snapshot() []*Entry {
+	var out []*Entry
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, e := range s.entries {
+			out = append(out, e)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // IntelligentCache maps internal query structure to results and matches new
-// queries by subsumption, post-processing stored results locally.
+// queries by subsumption, post-processing stored results locally. Shards
+// are selected by GroupKey hash, keeping each subsumption bucket (one data
+// source + view) within a single shard.
 type IntelligentCache struct {
-	mu       sync.Mutex
-	opt      Options
-	byKey    map[string]*Entry
-	buckets  map[string][]*Entry // GroupKey -> candidates in insertion order
-	curBytes int64
-	stats    Stats
-	clock    func() time.Time
+	opt    Options
+	shards []*intelShard
 }
 
 // NewIntelligentCache creates an intelligent cache.
 func NewIntelligentCache(opt Options) *IntelligentCache {
-	return &IntelligentCache{
-		opt:     opt,
-		byKey:   make(map[string]*Entry),
-		buckets: make(map[string][]*Entry),
-		clock:   time.Now,
+	n := shardCount(opt)
+	sopt := perShardOptions(opt, n)
+	c := &IntelligentCache{opt: opt, shards: make([]*intelShard, n)}
+	for i := range c.shards {
+		c.shards[i] = &intelShard{
+			opt:     sopt,
+			byKey:   make(map[string]*Entry),
+			buckets: make(map[string][]*Entry),
+			clock:   time.Now,
+		}
 	}
+	return c
+}
+
+func (c *IntelligentCache) shardFor(q *query.Query) *intelShard {
+	return c.shards[shardIndex(q.GroupKey(), len(c.shards))]
 }
 
 // Get answers q from the cache: an exact structural match first, otherwise
@@ -198,55 +219,7 @@ func NewIntelligentCache(opt Options) *IntelligentCache {
 // residual filtering and projection applied locally ("while currently we
 // accept the first match...").
 func (c *IntelligentCache) Get(q *query.Query) (*exec.Result, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	now := c.clock()
-	if e, ok := c.byKey[q.Key()]; ok {
-		e.Uses++
-		e.LastUsed = now
-		c.stats.ExactHits++
-		cIntExact.Inc()
-		// Exact key match may still need projection/ordering when the
-		// stored query was adjusted; Derive handles identity cheaply.
-		if res, ok := Derive(e.Query, e.Result, q); ok {
-			return res, true
-		}
-	}
-	if c.opt.BestMatch {
-		// Least-post-processing selection: the dominant local cost is the
-		// number of stored rows to filter and re-group.
-		var best *Entry
-		for _, e := range c.buckets[q.GroupKey()] {
-			if !Subsumes(e.Query, q) {
-				continue
-			}
-			if best == nil || e.Result.N < best.Result.N {
-				best = e
-			}
-		}
-		if best != nil {
-			if res, ok := Derive(best.Query, best.Result, q); ok {
-				best.Uses++
-				best.LastUsed = now
-				c.stats.DerivedHits++
-				cIntDerived.Inc()
-				return res, true
-			}
-		}
-	} else {
-		for _, e := range c.buckets[q.GroupKey()] {
-			if res, ok := Derive(e.Query, e.Result, q); ok {
-				e.Uses++
-				e.LastUsed = now
-				c.stats.DerivedHits++
-				cIntDerived.Inc()
-				return res, true
-			}
-		}
-	}
-	c.stats.Misses++
-	cIntMisses.Inc()
-	return nil, false
+	return c.shardFor(q).get(q)
 }
 
 // Put stores a result for the (already executed) query.
@@ -254,83 +227,61 @@ func (c *IntelligentCache) Put(q *query.Query, res *exec.Result, cost time.Durat
 	if c.opt.MaxResultBytes > 0 && res.SizeBytes() > c.opt.MaxResultBytes {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	key := q.Key()
-	if old, ok := c.byKey[key]; ok {
-		c.removeLocked(old)
-	}
-	now := c.clock()
-	e := &Entry{Query: q.Clone(), Result: res, Cost: cost, Created: now, LastUsed: now}
-	c.byKey[key] = e
-	c.buckets[q.GroupKey()] = append(c.buckets[q.GroupKey()], e)
-	c.curBytes += e.sizeBytes()
-	c.evictLocked()
+	c.shardFor(q).put(q, res, cost)
 }
 
 // Clear empties the cache.
 func (c *IntelligentCache) Clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.byKey = make(map[string]*Entry)
-	c.buckets = make(map[string][]*Entry)
-	c.curBytes = 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.byKey = make(map[string]*Entry)
+		s.buckets = make(map[string][]*Entry)
+		s.curBytes = 0
+		s.mu.Unlock()
+	}
 }
 
 // Len returns the number of entries.
 func (c *IntelligentCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.byKey)
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.byKey)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns counters.
+// Shards reports the effective lock-stripe count.
+func (c *IntelligentCache) Shards() int { return len(c.shards) }
+
+// Stats returns counters aggregated across shards.
 func (c *IntelligentCache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var st Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.add(s.stats)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// setClock pins the cache's clock (tests).
+func (c *IntelligentCache) setClock(fn func() time.Time) {
+	for _, s := range c.shards {
+		s.clock = fn
+	}
 }
 
 // Entries snapshots the cache content (persistence).
 func (c *IntelligentCache) Entries() []*Entry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]*Entry, 0, len(c.byKey))
-	for _, e := range c.byKey {
-		out = append(out, e)
+	var out []*Entry
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, e := range s.byKey {
+			out = append(out, e)
+		}
+		s.mu.Unlock()
 	}
 	return out
-}
-
-func (c *IntelligentCache) removeLocked(e *Entry) {
-	key := e.Query.Key()
-	delete(c.byKey, key)
-	gk := e.Query.GroupKey()
-	bucket := c.buckets[gk]
-	for i, b := range bucket {
-		if b == e {
-			c.buckets[gk] = append(bucket[:i], bucket[i+1:]...)
-			break
-		}
-	}
-	c.curBytes -= e.sizeBytes()
-}
-
-func (c *IntelligentCache) evictLocked() {
-	now := c.clock()
-	for (c.opt.MaxEntries > 0 && len(c.byKey) > c.opt.MaxEntries) ||
-		(c.opt.MaxBytes > 0 && c.curBytes > c.opt.MaxBytes) {
-		var worst *Entry
-		for _, e := range c.byKey {
-			if worst == nil || e.score(now) < worst.score(now) {
-				worst = e
-			}
-		}
-		if worst == nil {
-			return
-		}
-		c.removeLocked(worst)
-		c.stats.Evictions++
-		cIntEvicts.Inc()
-	}
 }

@@ -314,7 +314,8 @@ func TestIntelligentCacheFlow(t *testing.T) {
 }
 
 func TestLiteralCache(t *testing.T) {
-	c := NewLiteralCache(Options{MaxEntries: 2})
+	// One shard: with a cache-wide budget of 2 the survivor set is exact.
+	c := NewLiteralCache(Options{MaxEntries: 2, Shards: 1})
 	res := exec.NewResult(nil)
 	c.Put("q1", res, time.Millisecond)
 	c.Put("q2", res, time.Second) // expensive: should survive eviction
@@ -335,7 +336,9 @@ func TestLiteralCache(t *testing.T) {
 }
 
 func TestIntelligentEvictionByCount(t *testing.T) {
-	c := NewIntelligentCache(Options{MaxEntries: 3})
+	// One shard: all six entries share a GroupKey, so the per-shard budget
+	// must equal the cache-wide budget for the eviction count to be exact.
+	c := NewIntelligentCache(Options{MaxEntries: 3, Shards: 1})
 	for i := 0; i < 6; i++ {
 		q := baseQuery()
 		q.Filters = []query.Filter{query.GtFilter("distance", storage.IntValue(int64(i)))}
@@ -430,8 +433,8 @@ func TestDistributedCache(t *testing.T) {
 		t.Fatal("node B should hit via the shared store")
 	}
 	sameResult(t, got, sres)
-	if hits, _ := nodeB.RemoteStats(); hits != 1 {
-		t.Errorf("remote hits = %d", hits)
+	if hits, _, errs := nodeB.RemoteStats(); hits != 1 || errs != 0 {
+		t.Errorf("remote hits = %d errors = %d", hits, errs)
 	}
 	// After warming, node B can serve derived queries locally.
 	r := s.Clone()

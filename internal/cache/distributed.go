@@ -10,10 +10,13 @@ import (
 	"vizq/internal/tde/exec"
 )
 
-// Distributed-tier metrics, shared process-wide.
+// Distributed-tier metrics, shared process-wide. Errors count wire and
+// decode failures separately from misses so an unhealthy shared store is
+// distinguishable from a cold one.
 var (
 	cDistHits   = obs.C("cache.distributed.hits")
 	cDistMisses = obs.C("cache.distributed.misses")
+	cDistErrors = obs.C("cache.distributed.errors")
 )
 
 // Distributed layers a node-local intelligent cache over a shared networked
@@ -31,6 +34,7 @@ type Distributed struct {
 	// goroutines and a torn increment is a data race under -race.
 	remoteHits   atomic.Int64
 	remoteMisses atomic.Int64
+	remoteErrors atomic.Int64
 }
 
 // NewDistributed wires a local cache to a kvstore client.
@@ -47,13 +51,27 @@ func (d *Distributed) Get(q *query.Query) (*exec.Result, bool) {
 		return nil, false
 	}
 	data, ok, err := d.Remote.Get(q.Key())
-	if err != nil || !ok {
+	if err != nil {
+		// A transport failure is not a cold cache: count it separately.
+		d.remoteErrors.Add(1)
+		cDistErrors.Inc()
+		return nil, false
+	}
+	if !ok {
 		d.remoteMisses.Add(1)
 		cDistMisses.Inc()
 		return nil, false
 	}
 	sq, sres, cost, err := DecodeEntry(data)
 	if err != nil {
+		d.remoteErrors.Add(1)
+		cDistErrors.Inc()
+		return nil, false
+	}
+	res, ok := Derive(sq, sres, q)
+	if !ok {
+		// The shared entry exists but cannot answer q: that is a miss, and
+		// a result that failed to serve must not warm the local tier.
 		d.remoteMisses.Add(1)
 		cDistMisses.Inc()
 		return nil, false
@@ -63,8 +81,7 @@ func (d *Distributed) Get(q *query.Query) (*exec.Result, bool) {
 	// Warm the local tier: future queries on this node can match by
 	// subsumption, not only by exact key.
 	d.Local.Put(sq, sres, cost)
-	res, ok := Derive(sq, sres, q)
-	return res, ok
+	return res, true
 }
 
 // Put stores into both tiers.
@@ -78,7 +95,8 @@ func (d *Distributed) Put(q *query.Query, res *exec.Result, cost time.Duration) 
 	}
 }
 
-// RemoteStats reports shared-store outcomes for this node.
-func (d *Distributed) RemoteStats() (hits, misses int64) {
-	return d.remoteHits.Load(), d.remoteMisses.Load()
+// RemoteStats reports shared-store outcomes for this node. errors counts
+// transport and decode failures, kept apart from misses.
+func (d *Distributed) RemoteStats() (hits, misses, errors int64) {
+	return d.remoteHits.Load(), d.remoteMisses.Load(), d.remoteErrors.Load()
 }

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"math"
 	"sort"
 	"strings"
 
@@ -319,9 +320,22 @@ func appendValueKey(buf []byte, v storage.Value, coll storage.Collation) []byte 
 		return append(buf, 0)
 	case storage.TFloat:
 		buf = append(buf, 2)
-		u := uint64(int64(v.F * 1e9)) // canonical enough for grouped outputs
-		for s := 0; s < 64; s += 8 {
-			buf = append(buf, byte(u>>s))
+		// Order-preserving IEEE-754 encoding: flip the sign bit on
+		// non-negatives and complement negatives so the uint64 (and its
+		// big-endian bytes) sort like the float. Unlike a fixed-point
+		// int64 conversion, this neither overflows for |v| >= ~9.22e9 nor
+		// collides floats closer than 1e-9.
+		u := math.Float64bits(v.F)
+		if v.F == 0 {
+			u = 0 // -0.0 and +0.0 group together
+		}
+		if u&(1<<63) != 0 {
+			u = ^u
+		} else {
+			u |= 1 << 63
+		}
+		for s := 56; s >= 0; s -= 8 {
+			buf = append(buf, byte(u>>uint(s)))
 		}
 		return buf
 	default:

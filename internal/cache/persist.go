@@ -78,12 +78,10 @@ type persistedLiteralCache struct {
 // Save writes the literal cache to a file (Desktop persists both cache
 // levels across sessions).
 func (c *LiteralCache) Save(path string) error {
-	c.mu.Lock()
 	p := persistedLiteralCache{Version: 1}
-	for text, e := range c.entries {
-		p.Entries = append(p.Entries, persistedLiteral{Text: text, Result: e.Result, CostNS: int64(e.Cost)})
+	for _, e := range c.snapshot() {
+		p.Entries = append(p.Entries, persistedLiteral{Text: e.Text, Result: e.Result, CostNS: int64(e.Cost)})
 	}
-	c.mu.Unlock()
 	data, err := json.Marshal(p)
 	if err != nil {
 		return err

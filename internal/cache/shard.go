@@ -1,0 +1,284 @@
+package cache
+
+import (
+	"sync"
+	"time"
+
+	"vizq/internal/obs"
+	"vizq/internal/query"
+	"vizq/internal/tde/exec"
+)
+
+// The caches are lock-striped: N independent shards, each with its own
+// mutex, entry maps and byte/entry budget. The literal cache shards by
+// query-text hash; the intelligent cache shards by GroupKey hash so every
+// subsumption bucket (all candidates for one data source + view) stays
+// within a single shard and a Get never crosses shard boundaries.
+//
+// Eviction is Redis-style sampled eviction: instead of scanning the whole
+// shard for the globally worst-scored entry (O(n) per eviction), each round
+// samples up to evictSampleSize entries — Go's randomized map iteration
+// order is the sampler — and evicts the worst of the sample, making
+// eviction O(K) regardless of cache size.
+
+// defaultShardCount is used when Options.Shards is zero.
+const defaultShardCount = 16
+
+// evictSampleSize is the per-round eviction sample (Redis uses 5; 8 biases
+// slightly toward accuracy since our score spread is wide).
+const evictSampleSize = 8
+
+// Per-shard eviction metrics: sampled counts how many entries eviction
+// rounds examined, which bounds eviction cost and exposes sampling health.
+var (
+	cLitEvictSampled = obs.C("cache.literal.evict_sampled")
+	cIntEvictSampled = obs.C("cache.intelligent.evict_sampled")
+)
+
+// shardIndex hashes a key onto one of n shards (FNV-1a, inlined to keep the
+// hot path allocation-free).
+func shardIndex(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+// shardCount resolves the effective shard count for opt: the configured (or
+// default) count, clamped so every shard can hold at least one entry and at
+// least one maximum-size result.
+func shardCount(opt Options) int {
+	n := opt.Shards
+	if n <= 0 {
+		n = defaultShardCount
+	}
+	if opt.MaxEntries > 0 && n > opt.MaxEntries {
+		n = opt.MaxEntries
+	}
+	if opt.MaxBytes > 0 && opt.MaxResultBytes > 0 {
+		if m := int(opt.MaxBytes / opt.MaxResultBytes); m >= 1 && n > m {
+			n = m
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// perShardOptions divides the cache-wide budgets across n shards (rounding
+// up so n*perShard >= total).
+func perShardOptions(opt Options, n int) Options {
+	s := opt
+	if s.MaxEntries > 0 {
+		s.MaxEntries = (opt.MaxEntries + n - 1) / n
+	}
+	if s.MaxBytes > 0 {
+		s.MaxBytes = (opt.MaxBytes + int64(n) - 1) / int64(n)
+	}
+	return s
+}
+
+// litShard is one lock-striped stripe of the literal cache.
+type litShard struct {
+	mu       sync.Mutex
+	opt      Options // per-shard budgets
+	entries  map[string]*Entry
+	curBytes int64
+	stats    Stats
+	clock    func() time.Time
+}
+
+func (s *litShard) get(text string) (*exec.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[text]
+	if !ok {
+		s.stats.Misses++
+		cLitMisses.Inc()
+		return nil, false
+	}
+	e.Uses++
+	e.LastUsed = s.clock()
+	s.stats.ExactHits++
+	cLitHits.Inc()
+	return e.Result, true
+}
+
+func (s *litShard) put(text string, res *exec.Result, cost time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	e := &Entry{Text: text, Result: res, Cost: cost, Created: now, LastUsed: now}
+	if old, ok := s.entries[text]; ok {
+		s.curBytes -= old.sizeBytes()
+		// Refreshing a key must not make a hot entry look cold: carry the
+		// usage history across the replacement so eviction scoring still
+		// sees the entry's real popularity and age.
+		e.Uses = old.Uses
+		e.Created = old.Created
+	}
+	s.entries[text] = e
+	s.curBytes += e.sizeBytes()
+	s.evictLocked()
+}
+
+func (s *litShard) evictLocked() {
+	now := s.clock()
+	for (s.opt.MaxEntries > 0 && len(s.entries) > s.opt.MaxEntries) ||
+		(s.opt.MaxBytes > 0 && s.curBytes > s.opt.MaxBytes) {
+		var worst *Entry
+		var worstKey string
+		sampled := 0
+		for k, e := range s.entries {
+			if worst == nil || e.score(now) < worst.score(now) {
+				worst, worstKey = e, k
+			}
+			sampled++
+			if sampled >= evictSampleSize {
+				break
+			}
+		}
+		if worst == nil {
+			return
+		}
+		cLitEvictSampled.Add(int64(sampled))
+		delete(s.entries, worstKey)
+		s.curBytes -= worst.sizeBytes()
+		s.stats.Evictions++
+		cLitEvicts.Inc()
+	}
+}
+
+// intelShard is one lock-striped stripe of the intelligent cache. All
+// entries sharing a GroupKey live in the same shard, so subsumption
+// matching stays shard-local.
+type intelShard struct {
+	mu       sync.Mutex
+	opt      Options // per-shard budgets
+	byKey    map[string]*Entry
+	buckets  map[string][]*Entry // GroupKey -> candidates in insertion order
+	curBytes int64
+	stats    Stats
+	clock    func() time.Time
+}
+
+func (s *intelShard) get(q *query.Query) (*exec.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	if e, ok := s.byKey[q.Key()]; ok {
+		// Exact key match may still need projection/ordering when the
+		// stored query was adjusted; Derive handles identity cheaply. The
+		// hit is accounted only after Derive succeeds — a failed derive
+		// must fall through as a miss, not bump Uses or ExactHits.
+		if res, ok := Derive(e.Query, e.Result, q); ok {
+			e.Uses++
+			e.LastUsed = now
+			s.stats.ExactHits++
+			cIntExact.Inc()
+			return res, true
+		}
+	}
+	if s.opt.BestMatch {
+		// Least-post-processing selection: the dominant local cost is the
+		// number of stored rows to filter and re-group.
+		var best *Entry
+		for _, e := range s.buckets[q.GroupKey()] {
+			if !Subsumes(e.Query, q) {
+				continue
+			}
+			if best == nil || e.Result.N < best.Result.N {
+				best = e
+			}
+		}
+		if best != nil {
+			if res, ok := Derive(best.Query, best.Result, q); ok {
+				best.Uses++
+				best.LastUsed = now
+				s.stats.DerivedHits++
+				cIntDerived.Inc()
+				return res, true
+			}
+		}
+	} else {
+		for _, e := range s.buckets[q.GroupKey()] {
+			if res, ok := Derive(e.Query, e.Result, q); ok {
+				e.Uses++
+				e.LastUsed = now
+				s.stats.DerivedHits++
+				cIntDerived.Inc()
+				return res, true
+			}
+		}
+	}
+	s.stats.Misses++
+	cIntMisses.Inc()
+	return nil, false
+}
+
+func (s *intelShard) put(q *query.Query, res *exec.Result, cost time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := q.Key()
+	now := s.clock()
+	e := &Entry{Query: q.Clone(), Result: res, Cost: cost, Created: now, LastUsed: now}
+	if old, ok := s.byKey[key]; ok {
+		s.removeLocked(old)
+		// Carry usage history across a refresh (same rationale as the
+		// literal cache): hot entries stay hot.
+		e.Uses = old.Uses
+		e.Created = old.Created
+	}
+	s.byKey[key] = e
+	s.buckets[q.GroupKey()] = append(s.buckets[q.GroupKey()], e)
+	s.curBytes += e.sizeBytes()
+	s.evictLocked()
+}
+
+func (s *intelShard) removeLocked(e *Entry) {
+	key := e.Query.Key()
+	delete(s.byKey, key)
+	gk := e.Query.GroupKey()
+	bucket := s.buckets[gk]
+	for i, b := range bucket {
+		if b == e {
+			s.buckets[gk] = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(s.buckets[gk]) == 0 {
+		delete(s.buckets, gk)
+	}
+	s.curBytes -= e.sizeBytes()
+}
+
+func (s *intelShard) evictLocked() {
+	now := s.clock()
+	for (s.opt.MaxEntries > 0 && len(s.byKey) > s.opt.MaxEntries) ||
+		(s.opt.MaxBytes > 0 && s.curBytes > s.opt.MaxBytes) {
+		var worst *Entry
+		sampled := 0
+		for _, e := range s.byKey {
+			if worst == nil || e.score(now) < worst.score(now) {
+				worst = e
+			}
+			sampled++
+			if sampled >= evictSampleSize {
+				break
+			}
+		}
+		if worst == nil {
+			return
+		}
+		cIntEvictSampled.Add(int64(sampled))
+		s.removeLocked(worst)
+		s.stats.Evictions++
+		cIntEvicts.Inc()
+	}
+}

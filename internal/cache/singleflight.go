@@ -1,0 +1,83 @@
+package cache
+
+import (
+	"context"
+	"sync"
+
+	"vizq/internal/obs"
+	"vizq/internal/tde/exec"
+)
+
+// Single-flight metrics, shared process-wide: leader counts executions that
+// ran the remote query; shared counts callers that joined an in-flight
+// execution instead of issuing a duplicate.
+var (
+	cSFLeader = obs.C("cache.singleflight.leader")
+	cSFShared = obs.C("cache.singleflight.shared")
+)
+
+// flightCall is one in-flight execution. done closes when res/err are set.
+type flightCall struct {
+	done chan struct{}
+	res  *exec.Result
+	err  error
+}
+
+// Flight coalesces concurrent executions of the same key (the structural
+// query identity): the first caller becomes the leader and runs fn; callers
+// arriving while the leader is in flight block and share its result. This
+// is the request-coalescing answer to the correlated-miss stampede — K
+// sessions rendering the same fresh dashboard send 1 remote query, not K
+// (cf. memcached-style leases against thundering herds).
+//
+// Errors propagate to every waiter but do not poison the slot: the call is
+// deregistered before waiters wake, so the next request for the key starts
+// a fresh execution.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// NewFlight creates an empty flight group.
+func NewFlight() *Flight {
+	return &Flight{calls: make(map[string]*flightCall)}
+}
+
+// Do executes fn once per key among concurrent callers. It returns fn's
+// result, whether this caller shared another caller's execution, and fn's
+// error. A waiter whose ctx is cancelled unblocks with ctx.Err() while the
+// leader keeps running for the remaining waiters.
+func (f *Flight) Do(ctx context.Context, key string, fn func() (*exec.Result, error)) (res *exec.Result, shared bool, err error) {
+	f.mu.Lock()
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		cSFShared.Inc()
+		select {
+		case <-c.done:
+			return c.res, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	cSFLeader.Inc()
+	c.res, c.err = fn()
+
+	// Deregister before waking waiters so an error never poisons the slot:
+	// any caller arriving after this point starts a fresh flight.
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.res, false, c.err
+}
+
+// Pending reports the number of in-flight keys (tests, introspection).
+func (f *Flight) Pending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}

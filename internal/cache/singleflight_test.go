@@ -1,0 +1,195 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vizq/internal/tde/exec"
+)
+
+// TestFlightCoalesces checks the core guarantee: N concurrent Do calls for
+// one key execute fn exactly once; everyone gets the leader's result and
+// all but one report shared=true.
+func TestFlightCoalesces(t *testing.T) {
+	f := NewFlight()
+	var calls atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	want := exec.NewResult(nil)
+	shared0 := cSFShared.Value()
+
+	const n = 8
+	results := make([]*exec.Result, n)
+	shared := make([]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, sh, err := f.Do(context.Background(), "q", func() (*exec.Result, error) {
+				calls.Add(1)
+				close(entered)
+				<-release
+				return want, nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i], shared[i] = res, sh
+		}(i)
+	}
+	<-entered // leader is inside fn
+	// cSFShared increments only after a caller has joined the in-flight
+	// call, so this barrier guarantees all n-1 waiters coalesced before the
+	// leader is released.
+	for cSFShared.Value()-shared0 < n-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	leaders := 0
+	for i := 0; i < n; i++ {
+		if results[i] != want {
+			t.Errorf("waiter %d got a different result", i)
+		}
+		if !shared[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d callers report shared=false, want exactly 1", leaders)
+	}
+	if f.Pending() != 0 {
+		t.Errorf("Pending() = %d after completion", f.Pending())
+	}
+}
+
+// TestFlightErrorDoesNotPoison checks that a failing leader propagates its
+// error to every waiter AND deregisters the slot, so the next Do for the
+// same key executes fresh instead of replaying the stale failure.
+func TestFlightErrorDoesNotPoison(t *testing.T) {
+	f := NewFlight()
+	boom := errors.New("backend down")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	shared0 := cSFShared.Value()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = f.Do(context.Background(), "q", func() (*exec.Result, error) {
+				close(entered)
+				<-release
+				return nil, boom
+			})
+		}(i)
+	}
+	<-entered
+	for cSFShared.Value()-shared0 < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("waiter %d: err = %v, want %v", i, err, boom)
+		}
+	}
+
+	// The failed slot must be gone: a fresh Do re-executes and succeeds.
+	res, sh, err := f.Do(context.Background(), "q", func() (*exec.Result, error) {
+		return exec.NewResult(nil), nil
+	})
+	if err != nil || res == nil || sh {
+		t.Fatalf("flight poisoned by prior error: res=%v shared=%v err=%v", res, sh, err)
+	}
+}
+
+// TestFlightWaiterCancel checks that a waiter whose context is cancelled
+// unblocks with ctx.Err() while the leader keeps running to completion.
+func TestFlightWaiterCancel(t *testing.T) {
+	f := NewFlight()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := f.Do(context.Background(), "q", func() (*exec.Result, error) {
+			close(entered)
+			<-release
+			return exec.NewResult(nil), nil
+		})
+		leaderDone <- err
+	}()
+	<-entered
+
+	shared0 := cSFShared.Value()
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := f.Do(ctx, "q", func() (*exec.Result, error) {
+			t.Error("cancelled waiter must not run fn")
+			return nil, nil
+		})
+		waiterDone <- err
+	}()
+	for cSFShared.Value() == shared0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Errorf("leader err = %v, want nil", err)
+	}
+}
+
+// TestFlightStress drives many keys and goroutines, with injected errors,
+// under -race: per key fn runs at least once and never concurrently with
+// itself, and errors never leak into later rounds.
+func TestFlightStress(t *testing.T) {
+	f := NewFlight()
+	const keys = 16
+	var inflight [keys]atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (w*7 + i) % keys
+				_, _, err := f.Do(context.Background(), fmt.Sprintf("k%d", k), func() (*exec.Result, error) {
+					if n := inflight[k].Add(1); n != 1 {
+						t.Errorf("key %d: %d concurrent executions", k, n)
+					}
+					defer inflight[k].Add(-1)
+					if i%17 == 0 {
+						return nil, errors.New("transient")
+					}
+					return exec.NewResult(nil), nil
+				})
+				if err != nil && err.Error() != "transient" {
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Pending() != 0 {
+		t.Errorf("Pending() = %d after stress", f.Pending())
+	}
+}

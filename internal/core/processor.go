@@ -53,6 +53,9 @@ type Options struct {
 	DisableBatchConcurrency bool
 	// DisableReuseAdjustment stops rewriting AVG into SUM/COUNT partials.
 	DisableReuseAdjustment bool
+	// DisableSingleFlight turns off coalescing of concurrent identical
+	// remote executions (the correlated-miss stampede defense).
+	DisableSingleFlight bool
 	// MaxInlineFilterValues externalizes larger IN lists into temporary
 	// tables on the data source (Sect. 3.1/5.3). 0 disables.
 	MaxInlineFilterValues int
@@ -71,6 +74,10 @@ type Stats struct {
 	FusedAway     int64
 	LocalAnswers  int64
 	TempTables    int64
+	// FlightLeader counts remote executions that led a single-flight;
+	// FlightShared counts executions avoided by joining one in flight.
+	FlightLeader int64
+	FlightShared int64
 }
 
 // Processor executes internal queries against one data source through the
@@ -79,6 +86,7 @@ type Processor struct {
 	pool        *connection.Pool
 	intelligent QueryCache
 	literal     *cache.LiteralCache
+	flight      *cache.Flight
 	opt         Options
 
 	stats Stats
@@ -93,7 +101,7 @@ func NewProcessor(pool *connection.Pool, intelligent QueryCache, literal *cache.
 	if literal == nil {
 		literal = cache.NewLiteralCache(cache.DefaultOptions())
 	}
-	return &Processor{pool: pool, intelligent: intelligent, literal: literal, opt: opt}
+	return &Processor{pool: pool, intelligent: intelligent, literal: literal, flight: cache.NewFlight(), opt: opt}
 }
 
 // ClearCaches purges both cache levels — done when a data source connection
@@ -115,6 +123,8 @@ func (p *Processor) Stats() Stats {
 		FusedAway:     atomic.LoadInt64(&p.stats.FusedAway),
 		LocalAnswers:  atomic.LoadInt64(&p.stats.LocalAnswers),
 		TempTables:    atomic.LoadInt64(&p.stats.TempTables),
+		FlightLeader:  atomic.LoadInt64(&p.stats.FlightLeader),
+		FlightShared:  atomic.LoadInt64(&p.stats.FlightShared),
 	}
 }
 
@@ -156,7 +166,8 @@ func (p *Processor) Execute(ctx context.Context, q *query.Query) (*exec.Result, 
 }
 
 // executeRemote sends a query to the data source, going through the literal
-// cache and externalizing oversized IN lists into session temp tables.
+// cache, coalescing concurrent identical executions via single-flight, and
+// externalizing oversized IN lists into session temp tables.
 func (p *Processor) executeRemote(ctx context.Context, q *query.Query) (*exec.Result, error) {
 	big := p.bigFilters(q)
 	if len(big) > 0 {
@@ -173,6 +184,26 @@ func (p *Processor) executeRemote(ctx context.Context, q *query.Query) (*exec.Re
 			return res, nil
 		}
 	}
+	if p.opt.DisableSingleFlight {
+		return p.fetchRemote(ctx, q, text)
+	}
+	// Coalesce on the query text (the same structural key the literal cache
+	// uses): concurrent misses for one query — many sessions rendering the
+	// same fresh dashboard — execute remotely once, and the waiters share
+	// the leader's result. Only the leader populates the caches.
+	res, shared, err := p.flight.Do(ctx, text, func() (*exec.Result, error) {
+		return p.fetchRemote(ctx, q, text)
+	})
+	if shared {
+		atomic.AddInt64(&p.stats.FlightShared, 1)
+	} else {
+		atomic.AddInt64(&p.stats.FlightLeader, 1)
+	}
+	return res, err
+}
+
+// fetchRemote runs one remote round-trip and populates both cache levels.
+func (p *Processor) fetchRemote(ctx context.Context, q *query.Query, text string) (*exec.Result, error) {
 	start := time.Now()
 	res, err := p.pool.Query(ctx, text)
 	if err != nil {

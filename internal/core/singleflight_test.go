@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"vizq/internal/remote"
+)
+
+// TestSingleFlightCoalescesCorrelatedMisses is the thundering-herd gate:
+// K sessions missing on the same query simultaneously must send ONE remote
+// query, with the K-1 duplicates sharing the leader's result. Caches are
+// disabled so every Execute reaches the miss path.
+func TestSingleFlightCoalescesCorrelatedMisses(t *testing.T) {
+	const herd = 8
+	srv := startBackend(t, remote.Config{Latency: 200 * time.Millisecond})
+	opt := Options{DisableIntelligentCache: true, DisableLiteralCache: true}
+	p := newProcessor(t, srv, opt, herd)
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]int, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-release
+			res, err := p.Execute(context.Background(), carrierCounts())
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			results[i] = res.N
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	// With 200ms of remote latency and a simultaneous start, every
+	// goroutine joins the first flight: exactly one backend query.
+	if got := srv.Stats().Queries; got != 1 {
+		t.Errorf("backend saw %d queries, want 1", got)
+	}
+	st := p.Stats()
+	if st.FlightLeader != 1 || st.FlightShared != herd-1 {
+		t.Errorf("leader=%d shared=%d, want 1/%d", st.FlightLeader, st.FlightShared, herd-1)
+	}
+	for i := 1; i < herd; i++ {
+		if results[i] != results[0] {
+			t.Errorf("goroutine %d got %d rows, goroutine 0 got %d", i, results[i], results[0])
+		}
+	}
+}
+
+// TestSingleFlightDisabled: with DisableSingleFlight every correlated miss
+// goes remote — the control arm of the test above.
+func TestSingleFlightDisabled(t *testing.T) {
+	const herd = 4
+	srv := startBackend(t, remote.Config{Latency: 50 * time.Millisecond, QueryDOP: herd})
+	opt := Options{DisableIntelligentCache: true, DisableLiteralCache: true, DisableSingleFlight: true}
+	p := newProcessor(t, srv, opt, herd)
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-release
+			if _, err := p.Execute(context.Background(), carrierCounts()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+
+	if got := srv.Stats().Queries; got != herd {
+		t.Errorf("backend saw %d queries, want %d", got, herd)
+	}
+	st := p.Stats()
+	if st.FlightLeader != 0 || st.FlightShared != 0 {
+		t.Errorf("flight stats should be zero when disabled: %+v", st)
+	}
+}
+
+// TestSingleFlightSharesIntoCache: after a coalesced burst with caching ON,
+// a later identical query is a cache hit — the leader populated the caches
+// for everyone.
+func TestSingleFlightSharesIntoCache(t *testing.T) {
+	srv := startBackend(t, remote.Config{Latency: 200 * time.Millisecond})
+	p := newProcessor(t, srv, DefaultOptions(), 4)
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-release
+			if _, err := p.Execute(context.Background(), carrierCounts()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+
+	if _, err := p.Execute(context.Background(), carrierCounts()); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().Queries; got != 1 {
+		t.Errorf("backend saw %d queries, want 1", got)
+	}
+	if st := p.Stats(); st.CacheHits == 0 {
+		t.Errorf("follow-up query should hit the cache: %+v", st)
+	}
+}

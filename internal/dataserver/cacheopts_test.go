@@ -1,0 +1,59 @@
+package dataserver
+
+import (
+	"context"
+	"testing"
+
+	"vizq/internal/cache"
+	"vizq/internal/core"
+	"vizq/internal/query"
+)
+
+// TestCacheOptionsFlowThrough checks that Config.CacheOptions actually
+// sizes the published source's caches: with a 1-entry budget two
+// alternating queries evict each other and every request goes to the
+// backend, while the default sizing serves the repeats locally.
+func TestCacheOptionsFlowThrough(t *testing.T) {
+	qa := &query.Query{
+		Dims:     []query.Dim{{Col: "carrier"}},
+		Measures: []query.Measure{{Fn: query.Count, As: "n"}},
+	}
+	qb := &query.Query{
+		Dims:     []query.Dim{{Col: "origin"}},
+		Measures: []query.Measure{{Fn: query.Count, As: "n"}},
+	}
+
+	run := func(cfg Config) int64 {
+		backend := startBackend(t)
+		s := publishFlights(t, backend, cfg)
+		conn, _, err := s.Connect("FAA Flights", "admin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		ctx := context.Background()
+		for i := 0; i < 2; i++ {
+			for _, q := range []*query.Query{qa, qb} {
+				if _, err := conn.Query(ctx, q.Clone()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return backend.Stats().Queries
+	}
+
+	def := run(Config{PipelineOptions: core.DefaultOptions()})
+	if def != 2 {
+		t.Errorf("default caches: backend saw %d queries, want 2 (repeats cached)", def)
+	}
+	// With a 1-entry budget the two queries contend for the single slot
+	// (which survivor wins depends on cost-aware scoring), so at least one
+	// repeat must fall out and go remote again.
+	tiny := run(Config{
+		PipelineOptions: core.DefaultOptions(),
+		CacheOptions:    cache.Options{MaxEntries: 1, Shards: 1},
+	})
+	if tiny <= def {
+		t.Errorf("1-entry caches: backend saw %d queries, want more than the default run's %d", tiny, def)
+	}
+}

@@ -59,6 +59,18 @@ type Config struct {
 	DisableInMemoryTempTables bool
 	// PipelineOptions configure the shared query pipeline.
 	PipelineOptions core.Options
+	// CacheOptions sizes each published source's query caches (shard
+	// count, entry/byte budgets). The zero value uses
+	// cache.DefaultOptions().
+	CacheOptions cache.Options
+}
+
+// cacheOptions resolves the configured cache sizing.
+func (c Config) cacheOptions() cache.Options {
+	if c.CacheOptions == (cache.Options{}) {
+		return cache.DefaultOptions()
+	}
+	return c.CacheOptions
 }
 
 // Stats counts server activity.
@@ -138,8 +150,8 @@ func (s *Server) Publish(src *PublishedSource) error {
 	pool := connection.NewPool(src.Backend, connection.PoolConfig{Max: max})
 	s.sources[key] = src
 	s.pools[key] = pool
-	s.procs[key] = core.NewProcessor(pool, cache.NewIntelligentCache(cache.DefaultOptions()),
-		cache.NewLiteralCache(cache.DefaultOptions()), s.cfg.PipelineOptions)
+	s.procs[key] = core.NewProcessor(pool, cache.NewIntelligentCache(s.cfg.cacheOptions()),
+		cache.NewLiteralCache(s.cfg.cacheOptions()), s.cfg.PipelineOptions)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"vizq/internal/cache"
@@ -339,8 +340,53 @@ func E4QueryCaching(s Scale) (*Table, error) {
 		}
 		t.Rows = append(t.Rows, []string{m.name, fmt.Sprint(sent), ms(elapsed), speedup(base, elapsed)})
 	}
+	// Correlated-miss phase (thundering herd): many sessions render the
+	// same fresh dashboard at once, so identical queries miss the cache
+	// concurrently. Without coalescing every session pays a remote
+	// round-trip; single-flight collapses the duplicates to ~1 remote
+	// execution per distinct query.
+	const herdUsers = 8
+	distinct := fig3Batch()[:4]
+	for _, sf := range []bool{false, true} {
+		name := fmt.Sprintf("correlated miss x%d, no single-flight", herdUsers)
+		opt := core.Options{DisableIntelligentCache: true, DisableLiteralCache: true, DisableSingleFlight: true}
+		if sf {
+			name = fmt.Sprintf("correlated miss x%d, single-flight", herdUsers)
+			opt.DisableSingleFlight = false
+		}
+		proc, pool := newPipeline(srv.Addr(), herdUsers*len(distinct), opt)
+		before := srv.Stats().Queries
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, herdUsers*len(distinct))
+		release := make(chan struct{})
+		for u := 0; u < herdUsers; u++ {
+			for qi, q := range distinct {
+				wg.Add(1)
+				go func(slot int, q *query.Query) {
+					defer wg.Done()
+					<-release // all sessions fire at once
+					_, err := proc.Execute(context.Background(), q)
+					errs[slot] = err
+				}(u*len(distinct)+qi, q)
+			}
+		}
+		close(release)
+		wg.Wait()
+		pool.Close()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		sent := srv.Stats().Queries - before
+		t.Rows = append(t.Rows, []string{name, fmt.Sprint(sent), ms(time.Since(start)), "-"})
+	}
+
 	t.Notes = append(t.Notes,
-		"each user issues 1 broad query + 4 filter drills + 1 roll-up; drills and roll-ups are subsumed by the broad query")
+		"each user issues 1 broad query + 4 filter drills + 1 roll-up; drills and roll-ups are subsumed by the broad query",
+		fmt.Sprintf("correlated-miss phase: %d sessions issue the same %d distinct queries concurrently (caches off to isolate coalescing); single-flight should cut backend queries from %d toward %d",
+			herdUsers, len(distinct), herdUsers*len(distinct), len(distinct)))
 	stages, err := traceOnce(func(ctx context.Context) error {
 		// One user's full sequence on a fresh intelligent-cache node: the
 		// breakdown shows one remote round-trip and cache-probe answers for

@@ -15,7 +15,10 @@ if [[ -z "$metrics_json" ]]; then
     echo "metrics smoke FAILED: no JSON object in loadsim -metrics json output" >&2
     exit 1
 fi
-for key in '"remote.roundtrip.ns"' '"pool.acquire.wait.ns"' '"core.batch.size"' '"cache.literal.hits"'; do
+for key in '"remote.roundtrip.ns"' '"pool.acquire.wait.ns"' '"core.batch.size"' '"cache.literal.hits"' \
+           '"cache.singleflight.leader"' '"cache.singleflight.shared"' \
+           '"cache.literal.evict_sampled"' '"cache.intelligent.evict_sampled"' \
+           '"cache.distributed.errors"'; do
     if ! grep -q "$key" <<<"$metrics_json"; then
         echo "metrics smoke FAILED: $key missing from loadsim -metrics json output" >&2
         exit 1
@@ -23,6 +26,19 @@ for key in '"remote.roundtrip.ns"' '"pool.acquire.wait.ns"' '"core.batch.size"' 
 done
 if ! python3 -c 'import json,sys; json.load(sys.stdin)' <<<"$metrics_json" 2>/dev/null; then
     echo "metrics smoke FAILED: loadsim -metrics json emitted malformed JSON" >&2
+    exit 1
+fi
+# Every remote miss runs through the single-flight layer as a leader, so a
+# run that issued remote queries must report a non-zero leader count — a
+# zero here means the coalescing path is dead code.
+if ! python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+c = m.get("counters", m)
+v = c.get("cache.singleflight.leader", 0)
+sys.exit(0 if v > 0 else 1)
+' <<<"$metrics_json" 2>/dev/null; then
+    echo "metrics smoke FAILED: cache.singleflight.leader never incremented" >&2
     exit 1
 fi
 echo "metrics smoke OK"
