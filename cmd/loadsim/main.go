@@ -9,6 +9,14 @@
 //
 //	loadsim [-users 20] [-interactions 3] [-latency 5ms] [-rows 100000]
 //	        [-trace] [-metrics text|json]
+//	        [-outage start:dur] [-resilient] [-timeout 2s]
+//
+// With -outage, the backend is reached through a chaos proxy that goes
+// dark (black-holed connections, active relays cut) at `start` into each
+// mode's run and heals after `dur`; renders that fail during the window
+// are counted instead of aborting the simulation. Add -resilient to run
+// the pipeline with retry, circuit breaking and stale-on-error enabled
+// and compare the two error counts.
 package main
 
 import (
@@ -19,13 +27,16 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"vizq/internal/cache"
+	"vizq/internal/chaos"
 	"vizq/internal/connection"
 	"vizq/internal/core"
 	"vizq/internal/obs"
 	"vizq/internal/remote"
+	"vizq/internal/resilience"
 	"vizq/internal/tde/engine"
 	"vizq/internal/vizql"
 	"vizq/internal/workload"
@@ -39,9 +50,26 @@ func main() {
 	seed := flag.Int64("seed", 1, "interaction randomness seed")
 	trace := flag.Bool("trace", false, "run one traced user after each mode and print its per-stage breakdown")
 	metrics := flag.String("metrics", "", "dump process metrics after the run: text or json")
+	outageSpec := flag.String("outage", "", "backend outage window as start:dur (e.g. 2s:1s), relative to each mode's run")
+	resilient := flag.Bool("resilient", false, "enable the resilience layer: retry, circuit breaker, stale-on-error")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-render client timeout (applied when -outage is set)")
 	flag.Parse()
 	if *metrics != "" && *metrics != "text" && *metrics != "json" {
 		log.Fatalf("loadsim: -metrics must be text or json, got %q", *metrics)
+	}
+	var outageStart, outageDur time.Duration
+	if *outageSpec != "" {
+		parts := strings.SplitN(*outageSpec, ":", 2)
+		if len(parts) != 2 {
+			log.Fatalf("loadsim: -outage must be start:dur (e.g. 2s:1s), got %q", *outageSpec)
+		}
+		var err error
+		if outageStart, err = time.ParseDuration(parts[0]); err != nil {
+			log.Fatalf("loadsim: bad -outage start: %v", err)
+		}
+		if outageDur, err = time.ParseDuration(parts[1]); err != nil {
+			log.Fatalf("loadsim: bad -outage duration: %v", err)
+		}
 	}
 
 	db, err := workload.BuildFlightsDB(workload.FlightsConfig{Rows: *rows, Days: 365, Seed: 42})
@@ -54,6 +82,19 @@ func main() {
 	}
 	defer srv.Close()
 
+	// With -outage the pools dial through a chaos proxy so the backend can
+	// be scripted dark and healed mid-run.
+	backendAddr := srv.Addr()
+	var proxy *chaos.Proxy
+	if *outageSpec != "" {
+		var err error
+		if proxy, err = chaos.New(srv.Addr(), chaos.Healthy()); err != nil {
+			log.Fatal(err)
+		}
+		defer proxy.Close()
+		backendAddr = proxy.Addr()
+	}
+
 	for _, cached := range []bool{false, true} {
 		mode := "caching OFF"
 		opt := core.Options{DisableIntelligentCache: true, DisableLiteralCache: true}
@@ -61,11 +102,41 @@ func main() {
 			mode = "caching ON "
 			opt = core.DefaultOptions()
 		}
-		pool := connection.NewPool(srv.Addr(), connection.PoolConfig{Max: 8})
+		if *resilient {
+			opt.Resilience = &resilience.Config{
+				MaxAttempts:       3,
+				BaseBackoff:       10 * time.Millisecond,
+				MaxBackoff:        100 * time.Millisecond,
+				AttemptTimeout:    *timeout / 4,
+				Seed:              *seed,
+				BreakerMinSamples: 4,
+				BreakerOpenFor:    500 * time.Millisecond,
+				ServeStale:        true,
+			}
+		}
+		pool := connection.NewPool(backendAddr, connection.PoolConfig{Max: 8})
 		intel := cache.NewIntelligentCache(cache.DefaultOptions())
 		lit := cache.NewLiteralCache(cache.DefaultOptions())
 		proc := core.NewProcessor(pool, intel, lit, opt)
 		backendBefore := srv.Stats().Queries
+
+		// Schedule this mode's outage window relative to its own start.
+		var outageTimers []*time.Timer
+		if proxy != nil {
+			outageTimers = append(outageTimers,
+				time.AfterFunc(outageStart, func() {
+					proxy.SetMode(chaos.Fault{Kind: chaos.Stall})
+					proxy.KillActive()
+				}),
+				time.AfterFunc(outageStart+outageDur, proxy.Heal))
+		}
+		renderCtx := func() (context.Context, context.CancelFunc) {
+			if proxy == nil {
+				return context.Background(), func() {}
+			}
+			return context.WithTimeout(context.Background(), *timeout)
+		}
+		var renderErrors int
 
 		rng := rand.New(rand.NewSource(*seed))
 		var loadTimes, interactTimes []time.Duration
@@ -76,8 +147,14 @@ func main() {
 				log.Fatal(err)
 			}
 			t0 := time.Now()
-			if _, err := sess.Render(context.Background()); err != nil {
-				log.Fatal(err)
+			ctx, cancel := renderCtx()
+			_, err = sess.Render(ctx)
+			cancel()
+			if err != nil {
+				// During an outage window a failed render is an expected,
+				// countable outcome, not a reason to abort the simulation.
+				renderErrors++
+				continue
 			}
 			loadTimes = append(loadTimes, time.Since(t0))
 
@@ -96,11 +173,21 @@ func main() {
 					log.Fatal(err)
 				}
 				t0 = time.Now()
-				if _, err := sess.Render(context.Background()); err != nil {
-					log.Fatal(err)
+				ctx, cancel := renderCtx()
+				_, err := sess.Render(ctx)
+				cancel()
+				if err != nil {
+					renderErrors++
+					continue
 				}
 				interactTimes = append(interactTimes, time.Since(t0))
 			}
+		}
+		for _, tm := range outageTimers {
+			tm.Stop()
+		}
+		if proxy != nil {
+			proxy.Heal() // in case the run finished inside the outage window
 		}
 		wall := time.Since(start)
 		backend := srv.Stats().Queries - backendBefore
@@ -113,7 +200,16 @@ func main() {
 		ist, lst := intel.Stats(), lit.Stats()
 		fmt.Printf("  cache shards  intelligent=%d literal=%d  evictions=%d/%d\n",
 			intel.Shards(), lit.Shards(), ist.Evictions, lst.Evictions)
-		fmt.Printf("  singleflight  leader=%d shared=%d\n\n", st.FlightLeader, st.FlightShared)
+		fmt.Printf("  singleflight  leader=%d shared=%d\n", st.FlightLeader, st.FlightShared)
+		if proxy != nil || *resilient {
+			line := fmt.Sprintf("  resilience    renderErrors=%d staleServed=%d", renderErrors, st.StaleServed)
+			if rs := proc.Resilience(); rs != nil {
+				bst := rs.Breaker().Stats()
+				line += fmt.Sprintf(" breakerOpened=%d fastFails=%d", bst.Opened, bst.FastFails)
+			}
+			fmt.Println(line)
+		}
+		fmt.Println()
 		if *trace {
 			if err := traceUser(proc, *interactions); err != nil {
 				log.Fatal(err)
@@ -143,8 +239,10 @@ func traceUser(proc *core.Processor, interactions int) error {
 	if err != nil {
 		return err
 	}
+	// A render error (e.g. a breaker still cooling down after an -outage
+	// run) is part of what the trace should show, not a fatal condition.
 	if _, err := sess.Render(ctx); err != nil {
-		return err
+		fmt.Printf("  traced user: initial load failed: %v\n", err)
 	}
 	for i := 0; i < interactions; i++ {
 		markets := sess.Result("Market")
@@ -155,7 +253,7 @@ func traceUser(proc *core.Processor, interactions int) error {
 			return err
 		}
 		if _, err := sess.Render(ctx); err != nil {
-			return err
+			fmt.Printf("  traced user: interaction %d failed: %v\n", i, err)
 		}
 	}
 	fmt.Printf("  stage breakdown (1 traced user, untimed):\n%s\n", obs.FormatStages(tr.Stages()))

@@ -1,6 +1,6 @@
 // vizlint is a project-specific static analyzer for vizq's concurrent
 // query stack. It is stdlib-only (go/ast + go/parser + go/types) and
-// implements four check families tuned to this codebase's hazards:
+// implements six check families tuned to this codebase's hazards:
 //
 //	locks     – a method that calls mu.Lock() must release it on every
 //	            return path (prefer defer); double-lock of the same
@@ -16,6 +16,10 @@
 //	obs       – a span started with obs.StartSpan must be finished on
 //	            every return path (prefer defer sp.Finish()); spans that
 //	            escape the function are assumed finished elsewhere.
+//	ctxcancel – the cancel func from context.WithTimeout/WithDeadline
+//	            must be called on every return path (prefer defer
+//	            cancel()); cancels that escape are assumed called
+//	            elsewhere.
 //
 // A finding can be suppressed with a directive comment on the same line
 // or the line above:
@@ -23,7 +27,8 @@
 //	//vizlint:allow sleep -- simulated wire latency
 //
 // The directive names one or more checks (locks, goroutine, errors,
-// sleep, obs, or all); text after "--" is an optional justification.
+// sleep, obs, ctxcancel, or all); text after "--" is an optional
+// justification.
 package main
 
 import (
@@ -336,6 +341,7 @@ func runChecks(pkg *pkgInfo) []Finding {
 		out = append(out, checkErrors(pkg, fi)...)
 		out = append(out, checkSleep(pkg, fi)...)
 		out = append(out, checkObs(pkg, fi)...)
+		out = append(out, checkCtxCancel(pkg, fi)...)
 	}
 	return out
 }

@@ -1,0 +1,58 @@
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// DeferredCancel is the idiomatic shape: defer right after the derive,
+// covering every return path including the early one.
+func DeferredCancel(ctx context.Context, fail bool) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	if fail {
+		return context.Canceled
+	}
+	consume(ctx)
+	return nil
+}
+
+// ExplicitOnEveryPath calls cancel on both the early and the late exit.
+func ExplicitOnEveryPath(ctx context.Context, fail bool) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	if fail {
+		cancel()
+		return context.Canceled
+	}
+	consume(ctx)
+	cancel()
+	return nil
+}
+
+// WrappedDefer schedules the cancel from inside a deferred closure.
+func WrappedDefer(ctx context.Context) {
+	ctx, cancel := context.WithDeadline(ctx, time.Unix(1, 0))
+	defer func() {
+		cancel()
+	}()
+	consume(ctx)
+}
+
+// EscapesToCaller hands the cancel func back to the caller, which owns
+// the release from then on.
+func EscapesToCaller(ctx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	return ctx, cancel
+}
+
+// EscapesToHelper passes the cancel func into another function that is
+// responsible for calling it.
+func EscapesToHelper(ctx context.Context) {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	adopt(cancel)
+	consume(ctx)
+}
+
+func adopt(cancel context.CancelFunc) { cancel() }
+
+func consume(ctx context.Context) { _ = ctx }

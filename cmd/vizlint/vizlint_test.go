@@ -152,6 +152,24 @@ func TestObsSilentOnGoodCode(t *testing.T) {
 	}
 }
 
+func TestCtxCancelFiresOnBadCode(t *testing.T) {
+	findings := lintFixture(t, "ctxcancel_bad.go", "vizq/internal/fixture")
+	// EarlyReturnCancel's bail-out, FallThroughCancel's forgotten cancel,
+	// ReboundCancel's orphaned timer, and DeferOnlyInOneBranch's cold path.
+	if got := countCheck(findings, "ctxcancel"); got != 4 {
+		dump(t, findings)
+		t.Errorf("ctxcancel findings = %d, want 4", got)
+	}
+}
+
+func TestCtxCancelSilentOnGoodCode(t *testing.T) {
+	findings := lintFixture(t, "ctxcancel_good.go", "vizq/internal/fixture")
+	if len(findings) != 0 {
+		dump(t, findings)
+		t.Errorf("findings = %d, want 0", len(findings))
+	}
+}
+
 // TestRepoIsClean runs the full analysis over the repository and demands
 // zero findings — the same gate scripts/check.sh enforces.
 func TestRepoIsClean(t *testing.T) {

@@ -30,6 +30,9 @@ var (
 	cIntDerived = obs.C("cache.intelligent.derived_hits")
 	cIntMisses  = obs.C("cache.intelligent.misses")
 	cIntEvicts  = obs.C("cache.intelligent.evictions")
+	// cStaleServed counts degraded reads: expired entries served inside
+	// their StaleUntil grace window because the backend was unreachable.
+	cStaleServed = obs.C("cache.stale_served")
 )
 
 // Entry is one cached query result with the bookkeeping eviction needs:
@@ -43,6 +46,25 @@ type Entry struct {
 	Created  time.Time
 	LastUsed time.Time
 	Uses     int64
+	// FreshUntil ends the entry's fresh lifetime (zero = fresh forever).
+	// Past it, normal Gets treat the entry as a miss.
+	FreshUntil time.Time
+	// StaleUntil ends the stale grace window (zero = no grace). Between
+	// FreshUntil and StaleUntil the entry is served only by GetStale —
+	// the graceful-degradation path taken when the backend is down.
+	StaleUntil time.Time
+}
+
+// fresh reports whether the entry may satisfy a normal Get at now.
+func (e *Entry) fresh(now time.Time) bool {
+	return e.FreshUntil.IsZero() || !now.After(e.FreshUntil)
+}
+
+// usableStale reports whether the entry may satisfy a degraded GetStale
+// at now: fresh entries qualify trivially, expired ones only inside the
+// grace window.
+func (e *Entry) usableStale(now time.Time) bool {
+	return e.fresh(now) || !now.After(e.StaleUntil)
 }
 
 func (e *Entry) sizeBytes() int64 { return e.Result.SizeBytes() + 256 }
@@ -60,6 +82,9 @@ type Stats struct {
 	DerivedHits int64
 	Misses      int64
 	Evictions   int64
+	// StaleServed counts degraded GetStale hits: expired entries served
+	// inside their grace window during a backend outage.
+	StaleServed int64
 }
 
 func (s *Stats) add(o Stats) {
@@ -67,6 +92,7 @@ func (s *Stats) add(o Stats) {
 	s.DerivedHits += o.DerivedHits
 	s.Misses += o.Misses
 	s.Evictions += o.Evictions
+	s.StaleServed += o.StaleServed
 }
 
 // Options bounds a cache.
@@ -87,6 +113,13 @@ type Options struct {
 	// with it, exact cache-wide budget enforcement — sharded budgets are
 	// enforced per shard).
 	Shards int
+	// FreshFor bounds an entry's fresh lifetime from Put (0 = fresh
+	// forever, the historical behaviour). Past it, normal Gets miss.
+	FreshFor time.Duration
+	// StaleGrace extends an expired entry's life past FreshFor for
+	// degraded reads only: GetStale may serve it while the backend is
+	// down, normal Gets never will. Ignored when FreshFor is zero.
+	StaleGrace time.Duration
 }
 
 // DefaultOptions sizes caches for a desktop session.
@@ -120,6 +153,14 @@ func (c *LiteralCache) shardFor(text string) *litShard {
 // Get looks up a query text.
 func (c *LiteralCache) Get(text string) (*exec.Result, bool) {
 	return c.shardFor(text).get(text)
+}
+
+// GetStale looks up a query text for a degraded read: it will serve an
+// expired entry as long as it is within its StaleUntil grace window.
+// Callers use it only after the fresh path failed (breaker open, retries
+// exhausted), so a hit is counted as stale-served, never as a normal hit.
+func (c *LiteralCache) GetStale(text string) (*exec.Result, bool) {
+	return c.shardFor(text).getStale(text)
 }
 
 // Put stores a result under its text.
@@ -220,6 +261,13 @@ func (c *IntelligentCache) shardFor(q *query.Query) *intelShard {
 // accept the first match...").
 func (c *IntelligentCache) Get(q *query.Query) (*exec.Result, bool) {
 	return c.shardFor(q).get(q)
+}
+
+// GetStale answers q for a degraded read, accepting entries past their
+// fresh lifetime but within their StaleUntil grace window — exact match
+// first, then subsumption like Get. Used when the backend is unreachable.
+func (c *IntelligentCache) GetStale(q *query.Query) (*exec.Result, bool) {
+	return c.shardFor(q).getStale(q)
 }
 
 // Put stores a result for the (already executed) query.

@@ -97,16 +97,43 @@ type litShard struct {
 func (s *litShard) get(text string) (*exec.Result, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := s.clock()
 	e, ok := s.entries[text]
+	if ok && !e.fresh(now) {
+		// An expired entry is a miss for the fresh path; once even the
+		// stale grace window has passed it is dead weight and is dropped.
+		if !e.usableStale(now) {
+			delete(s.entries, text)
+			s.curBytes -= e.sizeBytes()
+		}
+		ok = false
+	}
 	if !ok {
 		s.stats.Misses++
 		cLitMisses.Inc()
 		return nil, false
 	}
 	e.Uses++
-	e.LastUsed = s.clock()
+	e.LastUsed = now
 	s.stats.ExactHits++
 	cLitHits.Inc()
+	return e.Result, true
+}
+
+// getStale is the degraded-read path: it serves entries that are fresh or
+// merely expired (within grace), never entries past StaleUntil.
+func (s *litShard) getStale(text string) (*exec.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	e, ok := s.entries[text]
+	if !ok || !e.usableStale(now) {
+		return nil, false
+	}
+	e.Uses++
+	e.LastUsed = now
+	s.stats.StaleServed++
+	cStaleServed.Inc()
 	return e.Result, true
 }
 
@@ -115,17 +142,30 @@ func (s *litShard) put(text string, res *exec.Result, cost time.Duration) {
 	defer s.mu.Unlock()
 	now := s.clock()
 	e := &Entry{Text: text, Result: res, Cost: cost, Created: now, LastUsed: now}
+	setLifetimes(e, s.opt, now)
 	if old, ok := s.entries[text]; ok {
 		s.curBytes -= old.sizeBytes()
 		// Refreshing a key must not make a hot entry look cold: carry the
 		// usage history across the replacement so eviction scoring still
-		// sees the entry's real popularity and age.
+		// sees the entry's real popularity and age. Freshness is NOT
+		// carried: the new result restarts its own lifetime.
 		e.Uses = old.Uses
 		e.Created = old.Created
 	}
 	s.entries[text] = e
 	s.curBytes += e.sizeBytes()
 	s.evictLocked()
+}
+
+// setLifetimes stamps an entry's fresh/stale horizon from the shard's
+// options at write time.
+func setLifetimes(e *Entry, opt Options, now time.Time) {
+	if opt.FreshFor > 0 {
+		e.FreshUntil = now.Add(opt.FreshFor)
+		if opt.StaleGrace > 0 {
+			e.StaleUntil = e.FreshUntil.Add(opt.StaleGrace)
+		}
+	}
 }
 
 func (s *litShard) evictLocked() {
@@ -173,11 +213,18 @@ func (s *intelShard) get(q *query.Query) (*exec.Result, bool) {
 	defer s.mu.Unlock()
 	now := s.clock()
 	if e, ok := s.byKey[q.Key()]; ok {
-		// Exact key match may still need projection/ordering when the
-		// stored query was adjusted; Derive handles identity cheaply. The
-		// hit is accounted only after Derive succeeds — a failed derive
-		// must fall through as a miss, not bump Uses or ExactHits.
-		if res, ok := Derive(e.Query, e.Result, q); ok {
+		if !e.fresh(now) {
+			// Expired: invisible to the fresh path. Entries past even the
+			// stale grace window are dropped outright.
+			if !e.usableStale(now) {
+				s.removeLocked(e)
+			}
+		} else if res, ok := Derive(e.Query, e.Result, q); ok {
+			// Exact key match may still need projection/ordering when the
+			// stored query was adjusted; Derive handles identity cheaply.
+			// The hit is accounted only after Derive succeeds — a failed
+			// derive must fall through as a miss, not bump Uses or
+			// ExactHits.
 			e.Uses++
 			e.LastUsed = now
 			s.stats.ExactHits++
@@ -190,7 +237,7 @@ func (s *intelShard) get(q *query.Query) (*exec.Result, bool) {
 		// number of stored rows to filter and re-group.
 		var best *Entry
 		for _, e := range s.buckets[q.GroupKey()] {
-			if !Subsumes(e.Query, q) {
+			if !e.fresh(now) || !Subsumes(e.Query, q) {
 				continue
 			}
 			if best == nil || e.Result.N < best.Result.N {
@@ -208,6 +255,9 @@ func (s *intelShard) get(q *query.Query) (*exec.Result, bool) {
 		}
 	} else {
 		for _, e := range s.buckets[q.GroupKey()] {
+			if !e.fresh(now) {
+				continue
+			}
 			if res, ok := Derive(e.Query, e.Result, q); ok {
 				e.Uses++
 				e.LastUsed = now
@@ -222,16 +272,49 @@ func (s *intelShard) get(q *query.Query) (*exec.Result, bool) {
 	return nil, false
 }
 
+// getStale is the degraded-read path: exact structural match first, then
+// subsumption, accepting entries that are fresh or merely expired (within
+// their grace window), never entries past StaleUntil.
+func (s *intelShard) getStale(q *query.Query) (*exec.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	if e, ok := s.byKey[q.Key()]; ok && e.usableStale(now) {
+		if res, ok := Derive(e.Query, e.Result, q); ok {
+			e.Uses++
+			e.LastUsed = now
+			s.stats.StaleServed++
+			cStaleServed.Inc()
+			return res, true
+		}
+	}
+	for _, e := range s.buckets[q.GroupKey()] {
+		if !e.usableStale(now) {
+			continue
+		}
+		if res, ok := Derive(e.Query, e.Result, q); ok {
+			e.Uses++
+			e.LastUsed = now
+			s.stats.StaleServed++
+			cStaleServed.Inc()
+			return res, true
+		}
+	}
+	return nil, false
+}
+
 func (s *intelShard) put(q *query.Query, res *exec.Result, cost time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := q.Key()
 	now := s.clock()
 	e := &Entry{Query: q.Clone(), Result: res, Cost: cost, Created: now, LastUsed: now}
+	setLifetimes(e, s.opt, now)
 	if old, ok := s.byKey[key]; ok {
 		s.removeLocked(old)
 		// Carry usage history across a refresh (same rationale as the
-		// literal cache): hot entries stay hot.
+		// literal cache): hot entries stay hot. Freshness is NOT carried:
+		// the new result restarts its own lifetime.
 		e.Uses = old.Uses
 		e.Created = old.Created
 	}

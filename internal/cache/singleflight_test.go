@@ -193,3 +193,71 @@ func TestFlightStress(t *testing.T) {
 		t.Errorf("Pending() = %d after stress", f.Pending())
 	}
 }
+
+// TestFlightLateWaitersDuringRetryingLeader models a leader whose fn is a
+// multi-attempt retry loop: waiters that join between the leader's attempts
+// — deep into the flight's lifetime — must still share the leader's final
+// error, and the slot must come out clean for the next request.
+func TestFlightLateWaitersDuringRetryingLeader(t *testing.T) {
+	f := NewFlight()
+	boom := errors.New("transport: backend died mid-retry")
+	firstAttemptFailed := make(chan struct{})
+	release := make(chan struct{})
+	shared0 := cSFShared.Value()
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := f.Do(context.Background(), "q", func() (*exec.Result, error) {
+			// Attempt 1 fails, then the "backoff" holds the flight open.
+			close(firstAttemptFailed)
+			<-release
+			// Attempt 2 fails too: the whole retry budget is spent.
+			return nil, boom
+		})
+		leaderErr <- err
+	}()
+
+	// Waiters arrive only after the leader's first attempt has already
+	// failed — mid-retry, not at flight start.
+	<-firstAttemptFailed
+	const late = 5
+	var wg sync.WaitGroup
+	errs := make([]error, late)
+	for i := 0; i < late; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, shared, err := f.Do(context.Background(), "q", func() (*exec.Result, error) {
+				t.Error("late waiter became a leader while the flight was live")
+				return nil, nil
+			})
+			if !shared {
+				t.Errorf("late waiter %d did not join the flight", i)
+			}
+			errs[i] = err
+		}(i)
+	}
+	for cSFShared.Value()-shared0 < late {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if err := <-leaderErr; !errors.Is(err, boom) {
+		t.Errorf("leader err = %v, want %v", err, boom)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("late waiter %d: err = %v, want the leader's error", i, err)
+		}
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("flight slot leaked: Pending = %d", f.Pending())
+	}
+	// The failed slot must not be poisoned: a fresh Do leads and succeeds.
+	res, sh, err := f.Do(context.Background(), "q", func() (*exec.Result, error) {
+		return exec.NewResult(nil), nil
+	})
+	if err != nil || res == nil || sh {
+		t.Fatalf("flight poisoned after retried failure: res=%v shared=%v err=%v", res, sh, err)
+	}
+}

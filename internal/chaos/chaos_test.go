@@ -1,0 +1,241 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoBackend answers every connection: it reads one byte and then writes
+// the fixed payload, repeatedly, until the peer hangs up. One byte in ->
+// payload out keeps request/response framing trivial for fault tests.
+func echoBackend(t *testing.T, payload []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				buf := make([]byte, 1)
+				for {
+					if _, err := io.ReadFull(c, buf); err != nil {
+						return
+					}
+					if _, err := c.Write(payload); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func startProxy(t *testing.T, backend string, sched Schedule) *Proxy {
+	t.Helper()
+	p, err := New(backend, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// roundTrip dials the proxy, sends one request byte, and reads up to
+// len(payload) response bytes under the given deadline.
+func roundTrip(t *testing.T, addr string, want int, deadline time.Duration) ([]byte, error) {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(deadline))
+	if _, err := c.Write([]byte{'?'}); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, want)
+	n, err := io.ReadFull(c, buf)
+	return buf[:n], err
+}
+
+var payload = []byte("0123456789abcdef")
+
+func TestNoneRelaysFaithfully(t *testing.T) {
+	backend := echoBackend(t, payload)
+	p := startProxy(t, backend, Healthy())
+	got, err := roundTrip(t, p.Addr(), len(payload), time.Second)
+	if err != nil {
+		t.Fatalf("healthy relay failed: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted: %q", got)
+	}
+}
+
+func TestRefuseFailsFirstUse(t *testing.T) {
+	backend := echoBackend(t, payload)
+	p := startProxy(t, backend, Repeat(Fault{Kind: Refuse}))
+	if _, err := roundTrip(t, p.Addr(), len(payload), time.Second); err == nil {
+		t.Fatal("refused connection completed a round trip")
+	}
+}
+
+func TestStallBlocksUntilDeadline(t *testing.T) {
+	backend := echoBackend(t, payload)
+	p := startProxy(t, backend, Repeat(Fault{Kind: Stall}))
+	start := time.Now()
+	_, err := roundTrip(t, p.Addr(), len(payload), 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("stalled connection returned data")
+	}
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("stall produced %v, want a timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("stall returned after %v, before the deadline", elapsed)
+	}
+}
+
+func TestCutMidFrameDeliversExactPrefix(t *testing.T) {
+	backend := echoBackend(t, payload)
+	const cut = 5
+	p := startProxy(t, backend, Repeat(Fault{Kind: CutMid, Bytes: cut}))
+	got, err := roundTrip(t, p.Addr(), len(payload), time.Second)
+	if err == nil {
+		t.Fatal("cut connection delivered the full payload")
+	}
+	if len(got) != cut || !bytes.Equal(got, payload[:cut]) {
+		t.Fatalf("got %d bytes %q, want the first %d", len(got), got, cut)
+	}
+}
+
+func TestTricklePacesBytes(t *testing.T) {
+	backend := echoBackend(t, payload)
+	const perByte = 2 * time.Millisecond
+	p := startProxy(t, backend, Repeat(Fault{Kind: Trickle, Delay: perByte}))
+	start := time.Now()
+	got, err := roundTrip(t, p.Addr(), len(payload), 5*time.Second)
+	if err != nil {
+		t.Fatalf("trickle should complete, got %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted: %q", got)
+	}
+	if elapsed := time.Since(start); elapsed < time.Duration(len(payload))*perByte {
+		t.Fatalf("trickle finished in %v, faster than %d bytes at %v/byte", elapsed, len(payload), perByte)
+	}
+}
+
+func TestKillAfterCutsEstablishedConn(t *testing.T) {
+	backend := echoBackend(t, payload)
+	p := startProxy(t, backend, Repeat(Fault{Kind: KillAfter, Delay: 30 * time.Millisecond}))
+	c, err := net.DialTimeout("tcp", p.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+	// First round trip beats the kill timer.
+	if _, err := c.Write([]byte{'?'}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("round trip before the kill failed: %v", err)
+	}
+	// Reads after the kill fire see EOF/reset.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := c.Write([]byte{'?'}); err != nil {
+			return
+		}
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+	}
+	t.Fatal("connection survived KillAfter")
+}
+
+// TestSeqHealsAfterScriptedFailures is the N-failures-then-heal shape
+// retry logic depends on: the first len(faults) connections fail, every
+// later one succeeds.
+func TestSeqHealsAfterScriptedFailures(t *testing.T) {
+	backend := echoBackend(t, payload)
+	p := startProxy(t, backend, Seq(Fault{Kind: Refuse}, Fault{Kind: Refuse}))
+	for i := 0; i < 2; i++ {
+		if _, err := roundTrip(t, p.Addr(), len(payload), time.Second); err == nil {
+			t.Fatalf("scripted failure %d succeeded", i)
+		}
+	}
+	got, err := roundTrip(t, p.Addr(), len(payload), time.Second)
+	if err != nil {
+		t.Fatalf("healed connection failed: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted after heal: %q", got)
+	}
+}
+
+// TestRandomKillDeterministic: the same seed yields the same per-index
+// fate sequence, independent of query order — this is what makes stress
+// runs reproducible.
+func TestRandomKillDeterministic(t *testing.T) {
+	a := RandomKill(42, 0.5, time.Millisecond, 20*time.Millisecond)
+	b := RandomKill(42, 0.5, time.Millisecond, 20*time.Millisecond)
+	// Interrogate b out of order; per-index fates must still agree.
+	var fromB [64]Fault
+	for i := 63; i >= 0; i-- {
+		fromB[i] = b.Fault(i)
+	}
+	kills := 0
+	for i := 0; i < 64; i++ {
+		fa := a.Fault(i)
+		if fa != fromB[i] {
+			t.Fatalf("conn %d: %+v vs %+v", i, fa, fromB[i])
+		}
+		if fa.Kind == KillAfter {
+			kills++
+		}
+	}
+	if kills == 0 || kills == 64 {
+		t.Fatalf("degenerate kill schedule: %d/64 kills", kills)
+	}
+}
+
+// TestOutageWindow scripts a full outage: healthy traffic, SetMode(Stall)
+// + KillActive darkens the backend, Heal restores it.
+func TestOutageWindow(t *testing.T) {
+	backend := echoBackend(t, payload)
+	p := startProxy(t, backend, Healthy())
+
+	if _, err := roundTrip(t, p.Addr(), len(payload), time.Second); err != nil {
+		t.Fatalf("pre-outage round trip failed: %v", err)
+	}
+
+	p.SetMode(Fault{Kind: Stall})
+	p.KillActive()
+	if _, err := roundTrip(t, p.Addr(), len(payload), 100*time.Millisecond); err == nil {
+		t.Fatal("round trip succeeded during the outage")
+	}
+
+	p.Heal()
+	got, err := roundTrip(t, p.Addr(), len(payload), time.Second)
+	if err != nil {
+		t.Fatalf("post-outage round trip failed: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted after heal: %q", got)
+	}
+}

@@ -95,8 +95,8 @@ func TestIsTransportPredicate(t *testing.T) {
 		{"query error", fmt.Errorf("remote: no such column"), false},
 	}
 	for _, c := range cases {
-		if got := isTransport(c.err); got != c.want {
-			t.Errorf("isTransport(%s) = %v, want %v", c.name, got, c.want)
+		if got := IsTransport(c.err); got != c.want {
+			t.Errorf("IsTransport(%s) = %v, want %v", c.name, got, c.want)
 		}
 	}
 }

@@ -206,14 +206,29 @@ func (p *Pool) evictLocked() {
 
 // Query acquires a connection, runs the query and releases it.
 func (p *Pool) Query(ctx context.Context, tql string) (*exec.Result, error) {
+	return p.withConn(ctx, func(c *remote.Conn) (*exec.Result, error) {
+		return c.Query(ctx, tql)
+	})
+}
+
+// Metadata acquires a connection, retrieves a table's schema and releases
+// it, with the same poisoning rules as Query.
+func (p *Pool) Metadata(ctx context.Context, table string) (*exec.Result, error) {
+	return p.withConn(ctx, func(c *remote.Conn) (*exec.Result, error) {
+		return c.Metadata(ctx, table)
+	})
+}
+
+// withConn runs one round trip on a pooled connection. A transport error
+// poisons the connection; a query-level error does not.
+func (p *Pool) withConn(ctx context.Context, fn func(*remote.Conn) (*exec.Result, error)) (*exec.Result, error) {
 	c, err := p.Acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.Query(ctx, tql)
+	res, err := fn(c)
 	if err != nil {
-		// A transport error poisons the connection; a query error does not.
-		if res == nil && isTransport(err) {
+		if res == nil && IsTransport(err) {
 			p.Discard(c)
 		} else {
 			p.Release(c)
@@ -224,12 +239,14 @@ func (p *Pool) Query(ctx context.Context, tql string) (*exec.Result, error) {
 	return res, nil
 }
 
-// isTransport reports whether err means the connection itself is suspect:
+// IsTransport reports whether err means the connection itself is suspect:
 // the peer hung up (EOF/reset/closed), the socket misbehaved (net.OpError),
 // or the request was abandoned mid-flight (timeout/cancellation) leaving a
 // response frame potentially still on the wire. Query-level errors — the
-// server answered with a well-formed error response — return false.
-func isTransport(err error) bool {
+// server answered with a well-formed error response — return false. It is
+// also the retry/breaker classifier the resilience layer uses: transport
+// errors are worth retrying, query errors prove the backend is alive.
+func IsTransport(err error) bool {
 	if err == nil {
 		return false
 	}

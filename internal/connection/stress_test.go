@@ -2,96 +2,15 @@ package connection
 
 import (
 	"context"
-	"io"
-	"math/rand"
-	"net"
 	"sync"
 	"testing"
 	"time"
 
+	"vizq/internal/chaos"
 	"vizq/internal/remote"
 	"vizq/internal/tde/engine"
 	"vizq/internal/workload"
 )
-
-// chaosProxy relays TCP connections to a backend and kills a deterministic
-// fraction of them after a short random delay, simulating mid-query network
-// failures. It is protocol-agnostic: the pool under test sees genuine
-// EOF/reset transport errors, exactly what a dying database produces.
-type chaosProxy struct {
-	ln      net.Listener
-	backend string
-
-	mu     sync.Mutex
-	conns  []net.Conn
-	closed bool
-}
-
-func newChaosProxy(t *testing.T, backend string, seed int64) *chaosProxy {
-	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	p := &chaosProxy{ln: ln, backend: backend}
-	go p.acceptLoop(seed)
-	return p
-}
-
-func (p *chaosProxy) Addr() string { return p.ln.Addr().String() }
-
-func (p *chaosProxy) acceptLoop(seed int64) {
-	rng := rand.New(rand.NewSource(seed))
-	for {
-		client, err := p.ln.Accept()
-		if err != nil {
-			return
-		}
-		// Decide this connection's fate up front so the accept loop owns
-		// all randomness (rng is not goroutine-safe).
-		kill := rng.Intn(2) == 0
-		delay := time.Duration(1+rng.Intn(20)) * time.Millisecond
-		server, err := net.Dial("tcp", p.backend)
-		if err != nil {
-			client.Close()
-			continue
-		}
-		p.track(client, server)
-		go func() { _, _ = io.Copy(server, client); server.Close() }()
-		go func() { _, _ = io.Copy(client, server); client.Close() }()
-		if kill {
-			go func() {
-				time.Sleep(delay)
-				client.Close()
-				server.Close()
-			}()
-		}
-	}
-}
-
-func (p *chaosProxy) track(cs ...net.Conn) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		for _, c := range cs {
-			c.Close()
-		}
-		return
-	}
-	p.conns = append(p.conns, cs...)
-}
-
-func (p *chaosProxy) Close() {
-	p.mu.Lock()
-	p.closed = true
-	conns := p.conns
-	p.conns = nil
-	p.mu.Unlock()
-	p.ln.Close()
-	for _, c := range conns {
-		c.Close()
-	}
-}
 
 // TestPoolStressWithTransportErrors hammers one pool from many goroutines
 // through a proxy that kills half the connections mid-flight. Whatever mix
@@ -111,7 +30,10 @@ func TestPoolStressWithTransportErrors(t *testing.T) {
 	}
 	defer srv.Close()
 
-	proxy := newChaosProxy(t, srv.Addr(), 42)
+	proxy, err := chaos.New(srv.Addr(), chaos.RandomKill(42, 0.5, time.Millisecond, 21*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer proxy.Close()
 
 	p := NewPool(proxy.Addr(), PoolConfig{Max: 4})

@@ -9,6 +9,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"vizq/internal/connection"
 	"vizq/internal/obs"
 	"vizq/internal/query"
+	"vizq/internal/resilience"
 	"vizq/internal/tde/exec"
 	"vizq/internal/tde/plan"
 	"vizq/internal/tde/storage"
@@ -40,6 +42,13 @@ type QueryCache interface {
 	Put(*query.Query, *exec.Result, time.Duration)
 }
 
+// StaleQueryCache is the optional degraded-read surface of a QueryCache:
+// caches that can serve expired entries within a grace window implement it
+// (the stale-on-error path takes it when the backend is unreachable).
+type StaleQueryCache interface {
+	GetStale(*query.Query) (*exec.Result, bool)
+}
+
 // Options tunes the pipeline; the Disable flags drive ablation benchmarks.
 type Options struct {
 	// DisableIntelligentCache turns semantic caching off.
@@ -59,6 +68,10 @@ type Options struct {
 	// MaxInlineFilterValues externalizes larger IN lists into temporary
 	// tables on the data source (Sect. 3.1/5.3). 0 disables.
 	MaxInlineFilterValues int
+	// Resilience, when non-nil, wraps backend access in retry/backoff and a
+	// per-data-source circuit breaker, and (if Resilience.ServeStale) lets
+	// the pipeline fall back to expired cache entries during outages.
+	Resilience *resilience.Config
 }
 
 // DefaultOptions enable everything.
@@ -78,6 +91,9 @@ type Stats struct {
 	// FlightShared counts executions avoided by joining one in flight.
 	FlightLeader int64
 	FlightShared int64
+	// StaleServed counts degraded answers from expired cache entries while
+	// the backend was unreachable.
+	StaleServed int64
 }
 
 // Processor executes internal queries against one data source through the
@@ -87,6 +103,7 @@ type Processor struct {
 	intelligent QueryCache
 	literal     *cache.LiteralCache
 	flight      *cache.Flight
+	rs          *resilience.Resilience
 	opt         Options
 
 	stats Stats
@@ -101,8 +118,16 @@ func NewProcessor(pool *connection.Pool, intelligent QueryCache, literal *cache.
 	if literal == nil {
 		literal = cache.NewLiteralCache(cache.DefaultOptions())
 	}
-	return &Processor{pool: pool, intelligent: intelligent, literal: literal, flight: cache.NewFlight(), opt: opt}
+	p := &Processor{pool: pool, intelligent: intelligent, literal: literal, flight: cache.NewFlight(), opt: opt}
+	if opt.Resilience != nil {
+		p.rs = resilience.New(*opt.Resilience, connection.IsTransport)
+	}
+	return p
 }
+
+// Resilience exposes the pipeline's retry/breaker policy, or nil when none
+// is configured (introspection: breaker state, loadsim reporting).
+func (p *Processor) Resilience() *resilience.Resilience { return p.rs }
 
 // ClearCaches purges both cache levels — done when a data source connection
 // is closed or refreshed ("entries are also purged when a connection to a
@@ -125,6 +150,7 @@ func (p *Processor) Stats() Stats {
 		TempTables:    atomic.LoadInt64(&p.stats.TempTables),
 		FlightLeader:  atomic.LoadInt64(&p.stats.FlightLeader),
 		FlightShared:  atomic.LoadInt64(&p.stats.FlightShared),
+		StaleServed:   atomic.LoadInt64(&p.stats.StaleServed),
 	}
 }
 
@@ -155,6 +181,9 @@ func (p *Processor) Execute(ctx context.Context, q *query.Query) (*exec.Result, 
 	if err != nil {
 		return nil, err
 	}
+	if res.Stale {
+		sp.Annotate("answer", "stale")
+	}
 	if sent == q {
 		return res, nil
 	}
@@ -162,6 +191,8 @@ func (p *Processor) Execute(ctx context.Context, q *query.Query) (*exec.Result, 
 	if !ok {
 		return nil, fmt.Errorf("core: adjusted query does not cover the original")
 	}
+	// Deriving builds a new result: the degraded-read tag must survive it.
+	derived.Stale = res.Stale
 	return derived, nil
 }
 
@@ -171,7 +202,18 @@ func (p *Processor) Execute(ctx context.Context, q *query.Query) (*exec.Result, 
 func (p *Processor) executeRemote(ctx context.Context, q *query.Query) (*exec.Result, error) {
 	big := p.bigFilters(q)
 	if len(big) > 0 {
-		return p.executeWithTempTables(ctx, q, big)
+		// Each retry re-runs the whole externalization: temp tables created
+		// by a failed attempt died with its poisoned connection anyway.
+		res, err := resilience.Do(ctx, p.rs, func(ctx context.Context) (*exec.Result, error) {
+			return p.executeWithTempTables(ctx, q, big)
+		})
+		if err != nil {
+			if stale, ok := p.staleFallback(q, q.ToTQL(), err); ok {
+				return stale, nil
+			}
+			return nil, err
+		}
+		return res, nil
 	}
 	text := q.ToTQL()
 	if !p.opt.DisableLiteralCache {
@@ -185,7 +227,13 @@ func (p *Processor) executeRemote(ctx context.Context, q *query.Query) (*exec.Re
 		}
 	}
 	if p.opt.DisableSingleFlight {
-		return p.fetchRemote(ctx, q, text)
+		res, err := p.fetchRemote(ctx, q, text)
+		if err != nil {
+			if stale, ok := p.staleFallback(q, text, err); ok {
+				return stale, nil
+			}
+		}
+		return res, err
 	}
 	// Coalesce on the query text (the same structural key the literal cache
 	// uses): concurrent misses for one query — many sessions rendering the
@@ -199,13 +247,64 @@ func (p *Processor) executeRemote(ctx context.Context, q *query.Query) (*exec.Re
 	} else {
 		atomic.AddInt64(&p.stats.FlightLeader, 1)
 	}
+	if err != nil {
+		// Degraded read: every coalesced waiter takes this path on its own
+		// copy of the leader's error, so all of them share the stale answer.
+		if stale, ok := p.staleFallback(q, text, err); ok {
+			return stale, nil
+		}
+	}
 	return res, err
 }
 
-// fetchRemote runs one remote round-trip and populates both cache levels.
+// staleFallback tries to answer q from an expired cache entry within its
+// grace window after the fresh path failed. Only outage-shaped errors
+// qualify — a breaker fast-fail or a transport failure; query-level errors
+// (the backend answered, the query is wrong) are never masked by old data.
+func (p *Processor) staleFallback(q *query.Query, text string, err error) (*exec.Result, bool) {
+	if !p.rs.ServeStale() {
+		return nil, false
+	}
+	if !errors.Is(err, resilience.ErrOpen) && !connection.IsTransport(err) {
+		return nil, false
+	}
+	var res *exec.Result
+	ok := false
+	if !p.opt.DisableLiteralCache {
+		res, ok = p.literal.GetStale(text)
+	}
+	if !ok && !p.opt.DisableIntelligentCache {
+		if sc, isStale := p.intelligent.(StaleQueryCache); isStale {
+			res, ok = sc.GetStale(q)
+		}
+	}
+	if !ok {
+		return nil, false
+	}
+	atomic.AddInt64(&p.stats.StaleServed, 1)
+	// Tag a shallow copy: the cached entry itself must stay untagged so a
+	// later fresh hit is not mislabeled.
+	tagged := *res
+	tagged.Stale = true
+	return &tagged, true
+}
+
+// Metadata retrieves a table's schema from the data source under the same
+// resilience policy as queries (metadata retrieval is part of the
+// connection-setup cost the pool exists to amortize, Sect. 3.5).
+func (p *Processor) Metadata(ctx context.Context, table string) (*exec.Result, error) {
+	return resilience.Do(ctx, p.rs, func(ctx context.Context) (*exec.Result, error) {
+		return p.pool.Metadata(ctx, table)
+	})
+}
+
+// fetchRemote runs one remote round-trip — retried under the resilience
+// policy when one is configured — and populates both cache levels.
 func (p *Processor) fetchRemote(ctx context.Context, q *query.Query, text string) (*exec.Result, error) {
 	start := time.Now()
-	res, err := p.pool.Query(ctx, text)
+	res, err := resilience.Do(ctx, p.rs, func(ctx context.Context) (*exec.Result, error) {
+		return p.pool.Query(ctx, text)
+	})
 	if err != nil {
 		return nil, err
 	}

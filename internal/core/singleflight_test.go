@@ -6,7 +6,12 @@ import (
 	"testing"
 	"time"
 
+	"vizq/internal/cache"
+	"vizq/internal/chaos"
+	"vizq/internal/connection"
 	"vizq/internal/remote"
+	"vizq/internal/resilience"
+	"vizq/internal/tde/exec"
 )
 
 // TestSingleFlightCoalescesCorrelatedMisses is the thundering-herd gate:
@@ -116,5 +121,146 @@ func TestSingleFlightSharesIntoCache(t *testing.T) {
 	}
 	if st := p.Stats(); st.CacheHits == 0 {
 		t.Errorf("follow-up query should hit the cache: %+v", st)
+	}
+}
+
+// newChaosProcessor wires a processor whose pool dials through a chaos
+// proxy, with explicit cache instances so tests can control staleness.
+func newChaosProcessor(t testing.TB, srv *remote.Server, sched chaos.Schedule,
+	opt Options, copt cache.Options, poolSize int) (*Processor, *chaos.Proxy) {
+	t.Helper()
+	proxy, err := chaos.New(srv.Addr(), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+	pool := connection.NewPool(proxy.Addr(), connection.PoolConfig{Max: poolSize})
+	t.Cleanup(pool.Close)
+	return NewProcessor(pool, cache.NewIntelligentCache(copt), cache.NewLiteralCache(copt), opt), proxy
+}
+
+// TestSingleFlightLeaderDiesMidRetry: K coalesced callers behind a leader
+// whose backend refuses every retry must all receive the leader's give-up
+// error — the backend sees only the leader's attempts, not K retry storms —
+// and the flight slot must not be poisoned for the post-heal query.
+func TestSingleFlightLeaderDiesMidRetry(t *testing.T) {
+	const herd = 6
+	srv := startBackend(t, remote.Config{})
+	opt := Options{DisableIntelligentCache: true, DisableLiteralCache: true}
+	opt.Resilience = &resilience.Config{
+		MaxAttempts: 3, BaseBackoff: 20 * time.Millisecond, MaxBackoff: 40 * time.Millisecond,
+		Seed: 5, BreakerMinSamples: 100,
+	}
+	p, proxy := newChaosProcessor(t, srv, chaos.Repeat(chaos.Fault{Kind: chaos.Refuse}),
+		opt, cache.DefaultOptions(), herd)
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-release
+			_, errs[i] = p.Execute(context.Background(), carrierCounts())
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("goroutine %d succeeded against a refusing backend", i)
+		}
+		if !connection.IsTransport(err) {
+			t.Errorf("goroutine %d: error not transport-classified: %v", i, err)
+		}
+	}
+	// With 20ms+ backoffs and a simultaneous start every caller joins the
+	// first flight: the backend saw one leader's retry sequence, not K.
+	st := p.Stats()
+	if st.FlightLeader+st.FlightShared != herd {
+		t.Errorf("flight accounting: leader=%d shared=%d, want %d total", st.FlightLeader, st.FlightShared, herd)
+	}
+	if got, max := proxy.Accepted(), 3*int(st.FlightLeader); got > max {
+		t.Errorf("backend saw %d connection attempts, want <= %d (leaders x MaxAttempts)", got, max)
+	}
+
+	// The failed flight must not poison the slot: heal and re-query.
+	proxy.Heal()
+	proxy.SetMode(chaos.Fault{Kind: chaos.None})
+	res, err := p.Execute(context.Background(), carrierCounts())
+	if err != nil {
+		t.Fatalf("post-heal query failed: %v", err)
+	}
+	if res.N == 0 || res.Stale {
+		t.Fatalf("post-heal query = (N=%d stale=%v)", res.N, res.Stale)
+	}
+}
+
+// TestSingleFlightWaitersShareStaleResult: when the leader's backend dies
+// mid-retry but the caches hold an expired entry within its grace window,
+// every coalesced caller — leader and waiters alike — receives the same
+// stale-tagged rows instead of an error.
+func TestSingleFlightWaitersShareStaleResult(t *testing.T) {
+	const herd = 6
+	srv := startBackend(t, remote.Config{})
+	opt := DefaultOptions()
+	opt.Resilience = &resilience.Config{
+		MaxAttempts: 2, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 10 * time.Millisecond,
+		Seed: 5, BreakerMinSamples: 100, ServeStale: true,
+	}
+	copt := cache.DefaultOptions()
+	copt.FreshFor = 40 * time.Millisecond
+	copt.StaleGrace = time.Hour
+	p, proxy := newChaosProcessor(t, srv, chaos.Healthy(), opt, copt, herd)
+
+	warm, err := p.Execute(context.Background(), carrierCounts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond) // entry expires (grace window remains)
+
+	proxy.SetMode(chaos.Fault{Kind: chaos.Refuse})
+	proxy.KillActive()
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]*exec.Result, herd)
+	errs := make([]error, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-release
+			results[i], errs[i] = p.Execute(context.Background(), carrierCounts())
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < herd; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: degraded read failed: %v", i, errs[i])
+		}
+		if !results[i].Stale {
+			t.Errorf("goroutine %d: result not tagged stale", i)
+		}
+		if results[i].N != warm.N {
+			t.Errorf("goroutine %d: stale rows = %d, warm = %d", i, results[i].N, warm.N)
+		}
+	}
+	if st := p.Stats(); st.StaleServed == 0 {
+		t.Errorf("StaleServed = 0 after degraded reads: %+v", st)
+	}
+
+	// Recovery: a healed backend serves fresh again — the stale episode
+	// must not have wedged the flight or the caches.
+	proxy.Heal()
+	res, err := p.Execute(context.Background(), carrierCounts())
+	if err != nil {
+		t.Fatalf("post-heal query failed: %v", err)
+	}
+	if res.Stale {
+		t.Fatal("post-heal query still tagged stale")
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"vizq/internal/core"
 	"vizq/internal/obs"
 	"vizq/internal/query"
+	"vizq/internal/resilience"
 	"vizq/internal/tde/exec"
 	"vizq/internal/tde/plan"
 	"vizq/internal/tde/storage"
@@ -49,6 +50,11 @@ type PublishedSource struct {
 	BackendSupportsTempTables bool
 	// MaxPoolConnections bounds the proxy's pool to the database.
 	MaxPoolConnections int
+	// Resilience overrides the server-wide retry/breaker/stale policy for
+	// this source (nil = inherit Config.Resilience). Per-source tuning
+	// matters because the server fronts heterogeneous customer-operated
+	// backends with very different failure profiles (Sect. 5).
+	Resilience *resilience.Config
 }
 
 // Config tunes the server.
@@ -60,9 +66,14 @@ type Config struct {
 	// PipelineOptions configure the shared query pipeline.
 	PipelineOptions core.Options
 	// CacheOptions sizes each published source's query caches (shard
-	// count, entry/byte budgets). The zero value uses
-	// cache.DefaultOptions().
+	// count, entry/byte budgets, fresh/stale lifetimes). The zero value
+	// uses cache.DefaultOptions().
 	CacheOptions cache.Options
+	// Resilience, when set, wraps every published source's backend access
+	// in retry/backoff, a per-source circuit breaker, and (if ServeStale)
+	// degraded reads from expired cache entries during outages. Individual
+	// sources may override it via PublishedSource.Resilience.
+	Resilience *resilience.Config
 }
 
 // cacheOptions resolves the configured cache sizing.
@@ -148,10 +159,16 @@ func (s *Server) Publish(src *PublishedSource) error {
 		max = 4
 	}
 	pool := connection.NewPool(src.Backend, connection.PoolConfig{Max: max})
+	popt := s.cfg.PipelineOptions
+	if src.Resilience != nil {
+		popt.Resilience = src.Resilience
+	} else if s.cfg.Resilience != nil {
+		popt.Resilience = s.cfg.Resilience
+	}
 	s.sources[key] = src
 	s.pools[key] = pool
 	s.procs[key] = core.NewProcessor(pool, cache.NewIntelligentCache(s.cfg.cacheOptions()),
-		cache.NewLiteralCache(s.cfg.cacheOptions()), s.cfg.PipelineOptions)
+		cache.NewLiteralCache(s.cfg.cacheOptions()), popt)
 	return nil
 }
 
@@ -364,6 +381,20 @@ func (c *ClientConn) Query(ctx context.Context, q *query.Query) (*exec.Result, e
 		return nil, err
 	}
 	return c.proc.Execute(ctx, rq)
+}
+
+// BackendMetadata retrieves the published table's schema from the backend
+// through the shared pipeline — pooled, retried, and breaker-guarded like
+// any query (the paper counts metadata retrieval among the per-connection
+// costs the Data Server exists to absorb, Sect. 5).
+func (c *ClientConn) BackendMetadata(ctx context.Context) (*exec.Result, error) {
+	c.mu.Lock()
+	open := c.open
+	c.mu.Unlock()
+	if !open {
+		return nil, fmt.Errorf("dataserver: connection closed")
+	}
+	return c.proc.Metadata(ctx, c.source.View.Table)
 }
 
 // tryLocalTempQuery answers a query whose view is a client temp table from

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"vizq/internal/cache"
+	"vizq/internal/chaos"
+	"vizq/internal/connection"
+	"vizq/internal/core"
+	"vizq/internal/query"
+	"vizq/internal/remote"
+	"vizq/internal/resilience"
+)
+
+// E10ResilienceUnderOutage measures what a mid-workload backend outage
+// costs the user with and without the resilience layer. The paper's Data
+// Server sits in front of dozens of customer-operated databases (Sect. 5)
+// whose outages Tableau cannot prevent — it can only decide whether each
+// one becomes a spinner followed by an error dialog, or a fast, visibly
+// degraded answer. Baseline: every query during the outage burns its full
+// client timeout and fails. Resilient: retries absorb blips, the circuit
+// breaker converts the steady-state outage into microsecond fast-fails,
+// and expired-but-in-grace cache entries are served stale instead of
+// erroring.
+func E10ResilienceUnderOutage(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E10",
+		Title: "backend outage mid-workload: resilience off vs on",
+		Claim: "retry + circuit breaker + stale-on-error turn an outage's error storm into degraded-but-instant answers (>=10x fewer user-visible errors)",
+		Header: []string{"mode", "outage queries", "errors", "p50 ms", "p99 ms",
+			"stale served", "breaker fast-fails", "recovered"},
+	}
+
+	base, err := runOutageArm(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runOutageArm(s, &resilience.Config{
+		MaxAttempts:         2,
+		BaseBackoff:         5 * time.Millisecond,
+		MaxBackoff:          10 * time.Millisecond,
+		AttemptTimeout:      40 * time.Millisecond,
+		Seed:                10,
+		BreakerWindow:       8,
+		BreakerMinSamples:   2,
+		BreakerFailureRatio: 0.5,
+		BreakerOpenFor:      200 * time.Millisecond,
+		ServeStale:          true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, arm := range []*outageArm{base, res} {
+		t.Rows = append(t.Rows, []string{arm.mode, fmt.Sprint(arm.queries),
+			fmt.Sprint(arm.errors), ms(arm.p50), ms(arm.p99),
+			fmt.Sprint(arm.staleServed), arm.fastFails, fmt.Sprint(arm.recovered)})
+	}
+	t.Notes = append(t.Notes,
+		"outage = chaos proxy black-holes every connection (Stall) and cuts in-flight relays; client timeout 120ms per query",
+		"resilient arm: 2 attempts x 40ms attempt budget, breaker opens after 2 failures, expired cache entries served within their grace window")
+	t.Stages = "baseline during outage (full timeout wait):\n" + base.stages +
+		"resilient during outage (breaker fast-fail + stale serve):\n" + res.stages
+	return t, nil
+}
+
+type outageArm struct {
+	mode        string
+	queries     int
+	errors      int
+	p50, p99    time.Duration
+	staleServed int64
+	fastFails   string
+	recovered   bool
+	stages      string
+}
+
+// runOutageArm runs one warm/outage/heal cycle against a chaos proxy.
+func runOutageArm(s Scale, rcfg *resilience.Config) (*outageArm, error) {
+	srv, err := startRemote(s.RemoteRows, remote.Config{Latency: s.Latency})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	proxy, err := chaos.New(srv.Addr(), chaos.Healthy())
+	if err != nil {
+		return nil, err
+	}
+	defer proxy.Close()
+	pool := connection.NewPool(proxy.Addr(), connection.PoolConfig{Max: 2})
+	defer pool.Close()
+
+	copt := cache.DefaultOptions()
+	copt.FreshFor = 40 * time.Millisecond // entries expire before the outage...
+	copt.StaleGrace = time.Minute         // ...but stay servable throughout it
+	opt := core.DefaultOptions()
+	opt.Resilience = rcfg
+	p := core.NewProcessor(pool, cache.NewIntelligentCache(copt), cache.NewLiteralCache(copt), opt)
+
+	arm := &outageArm{mode: "baseline (no resilience)", fastFails: "-"}
+	if rcfg != nil {
+		arm.mode = "resilient (retry+breaker+stale)"
+	}
+
+	// Warm phase: one successful query populates the caches.
+	const clientTimeout = 120 * time.Millisecond
+	runOne := func() (bool, time.Duration) {
+		ctx, cancel := context.WithTimeout(context.Background(), clientTimeout)
+		defer cancel()
+		start := time.Now()
+		_, err := p.Execute(ctx, outageQuery())
+		return err == nil, time.Since(start)
+	}
+	if ok, _ := runOne(); !ok {
+		return nil, fmt.Errorf("%s: warm query failed", arm.mode)
+	}
+	time.Sleep(60 * time.Millisecond) //vizlint:allow sleep -- let the warm entry age past FreshFor into its grace window
+
+	// Outage phase: the backend goes dark mid-workload.
+	proxy.SetMode(chaos.Fault{Kind: chaos.Stall})
+	proxy.KillActive()
+	const outageQueries = 8
+	arm.queries = outageQueries
+	lat := make([]time.Duration, 0, outageQueries)
+	for i := 0; i < outageQueries; i++ {
+		ok, d := runOne()
+		if !ok {
+			arm.errors++
+		}
+		lat = append(lat, d)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	arm.p50 = lat[len(lat)/2]
+	arm.p99 = lat[len(lat)-1]
+
+	// One traced pass while the outage (and, in the resilient arm, the open
+	// breaker) is still in effect: this is where the breaker's fast-fail is
+	// visibly cheaper than the baseline's full timeout wait.
+	arm.stages, err = traceOnce(func(ctx context.Context) error {
+		tctx, cancel := context.WithTimeout(ctx, clientTimeout)
+		defer cancel()
+		p.Execute(tctx, outageQuery()) // outage errors are the expected outcome here
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	st := p.Stats()
+	arm.staleServed = st.StaleServed
+	if rs := p.Resilience(); rs != nil {
+		arm.fastFails = fmt.Sprint(rs.Breaker().Stats().FastFails)
+	}
+
+	// Heal phase: the backend returns; the breaker's cooldown elapses and a
+	// probe closes it. Both arms must serve fresh again.
+	proxy.Heal()
+	time.Sleep(250 * time.Millisecond) //vizlint:allow sleep -- outlive BreakerOpenFor so the half-open probe runs
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	fresh, err := p.Execute(ctx, outageQuery())
+	arm.recovered = err == nil && fresh != nil && !fresh.Stale && fresh.N > 0
+	return arm, nil
+}
+
+func outageQuery() *query.Query {
+	return &query.Query{
+		DataSource: "flights",
+		View:       query.View{Table: "flights"},
+		Dims:       []query.Dim{{Col: "carrier"}},
+		Measures:   []query.Measure{{Fn: query.Count, As: "n"}},
+	}
+}

@@ -124,6 +124,7 @@ func All() []Runner {
 		{"E7", "shadow extracts", E7ShadowExtract},
 		{"E8", "Data Server temp tables", E8DataServerTempTables},
 		{"E9", "published vs embedded extracts", E9PublishedVsEmbeddedExtracts},
+		{"E10", "resilience under backend outage", E10ResilienceUnderOutage},
 	}
 }
 

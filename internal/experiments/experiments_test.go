@@ -94,6 +94,33 @@ func TestAllExperimentsRun(t *testing.T) {
 			t.Error("E8: temp-table text should be constant")
 		}
 	}
+
+	// E10: resilience must cut outage errors by >= 10x, serve stale answers,
+	// and show breaker fast-fails; both arms must recover after the heal.
+	e10 := tables["E10"]
+	baseErrs := atoiCell(t, e10.Rows[0][2])
+	resErrs := atoiCell(t, e10.Rows[1][2])
+	if resErrs*10 > baseErrs {
+		t.Errorf("E10: resilient errors %d vs baseline %d, want >=10x fewer", resErrs, baseErrs)
+	}
+	if stale := atoiCell(t, e10.Rows[1][5]); stale == 0 {
+		t.Error("E10: resilient arm served no stale answers")
+	}
+	if ff := atoiCell(t, e10.Rows[1][6]); ff == 0 {
+		t.Error("E10: breaker recorded no fast-fails")
+	}
+	if msCell(t, e10.Rows[1][4]) >= msCell(t, e10.Rows[0][4]) {
+		t.Errorf("E10: resilient p99 (%s ms) should beat baseline p99 (%s ms)",
+			e10.Rows[1][4], e10.Rows[0][4])
+	}
+	for i, mode := range []string{"baseline", "resilient"} {
+		if e10.Rows[i][7] != "true" {
+			t.Errorf("E10: %s arm did not recover after heal", mode)
+		}
+	}
+	if !strings.Contains(e10.Stages, "breaker fast-fail") {
+		t.Error("E10: stage trace missing the breaker fast-fail section")
+	}
 }
 
 func atoiCell(t *testing.T, s string) int {
@@ -129,7 +156,7 @@ func TestScalePresets(t *testing.T) {
 	if TestScale().Rows >= FullScale().Rows {
 		t.Error("test scale should be smaller")
 	}
-	if len(All()) != 9 {
-		t.Errorf("experiments = %d, want 9", len(All()))
+	if len(All()) != 10 {
+		t.Errorf("experiments = %d, want 10", len(All()))
 	}
 }

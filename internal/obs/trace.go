@@ -27,16 +27,18 @@ import (
 // Span names used across the query path (the span taxonomy). Instrumented
 // packages share these constants so stage aggregation lines up.
 const (
-	SpanBatch       = "batch"            // one ExecuteBatch call
-	SpanQuery       = "query"            // one Execute call
-	SpanCacheProbe  = "cache.probe"      // intelligent/literal cache lookup
-	SpanFuse        = "fuse"             // opportunity graph + fusion planning
-	SpanPoolAcquire = "pool.acquire"     // waiting for / dialing a connection
-	SpanRemote      = "remote.roundtrip" // one request/response on a connection
-	SpanLocalAnswer = "local.answer"     // answering a query from a predecessor
-	SpanPostProcess = "postprocess"      // deriving member results from a fused result
-	SpanTempTable   = "temptable"        // externalizing filters into session temp tables
-	SpanDSQuery     = "ds.query"         // one Data Server client query
+	SpanBatch       = "batch"              // one ExecuteBatch call
+	SpanQuery       = "query"              // one Execute call
+	SpanCacheProbe  = "cache.probe"        // intelligent/literal cache lookup
+	SpanFuse        = "fuse"               // opportunity graph + fusion planning
+	SpanPoolAcquire = "pool.acquire"       // waiting for / dialing a connection
+	SpanRemote      = "remote.roundtrip"   // one request/response on a connection
+	SpanLocalAnswer = "local.answer"       // answering a query from a predecessor
+	SpanPostProcess = "postprocess"        // deriving member results from a fused result
+	SpanTempTable   = "temptable"          // externalizing filters into session temp tables
+	SpanDSQuery     = "ds.query"           // one Data Server client query
+	SpanRetry       = "resilience.retry"   // one retried attempt (attempt >= 2) incl. its backoff
+	SpanBreaker     = "resilience.breaker" // a circuit-breaker fast-fail (near-zero duration by design)
 )
 
 // Tracer collects finished root spans for one traced unit of work (a

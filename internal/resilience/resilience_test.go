@@ -1,0 +1,228 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+var errTransport = errors.New("transport: peer reset")
+var errQuery = errors.New("remote: no such column")
+
+func isTransport(err error) bool { return errors.Is(err, errTransport) }
+
+// fakeSleeper replaces the backoff sleep and records requested delays.
+func fakeSleeper(r *Resilience) *[]time.Duration {
+	var slept []time.Duration
+	r.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
+	return &slept
+}
+
+func TestDoRetriesTransportErrorsThenSucceeds(t *testing.T) {
+	r := New(Config{MaxAttempts: 3, Seed: 7}, isTransport)
+	slept := fakeSleeper(r)
+	calls := 0
+	got, err := Do(context.Background(), r, func(ctx context.Context) (int, error) {
+		calls++
+		if calls < 3 {
+			return 0, errTransport
+		}
+		return 42, nil
+	})
+	if err != nil || got != 42 {
+		t.Fatalf("Do = (%d, %v), want (42, nil)", got, err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want 3", calls)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+	if r.Breaker().State() != Closed {
+		t.Fatal("two transient failures below the window tripped the breaker")
+	}
+}
+
+func TestDoGivesUpAfterMaxAttempts(t *testing.T) {
+	r := New(Config{MaxAttempts: 3, Seed: 7, BreakerMinSamples: 100}, isTransport)
+	fakeSleeper(r)
+	calls := 0
+	_, err := Do(context.Background(), r, func(ctx context.Context) (int, error) {
+		calls++
+		return 0, errTransport
+	})
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want 3", calls)
+	}
+	if !errors.Is(err, errTransport) {
+		t.Fatalf("give-up error %v does not wrap the cause", err)
+	}
+}
+
+func TestDoDoesNotRetryQueryErrors(t *testing.T) {
+	r := New(Config{MaxAttempts: 5, Seed: 7}, isTransport)
+	fakeSleeper(r)
+	calls := 0
+	_, err := Do(context.Background(), r, func(ctx context.Context) (int, error) {
+		calls++
+		return 0, errQuery
+	})
+	if calls != 1 {
+		t.Fatalf("query-level error retried: fn ran %d times", calls)
+	}
+	if !errors.Is(err, errQuery) {
+		t.Fatalf("err = %v, want the query error", err)
+	}
+	// Query errors mean the backend is alive: breaker records success.
+	if st := r.Breaker().Stats(); st.State != Closed || st.Opened != 0 {
+		t.Fatalf("breaker disturbed by a query error: %+v", st)
+	}
+}
+
+func TestDoHonorsDeadlineBudget(t *testing.T) {
+	// Backoffs are at least 50ms; with only 5ms of budget left the retry
+	// must be abandoned before sleeping, not attempted into a dead ctx.
+	r := New(Config{MaxAttempts: 10, BaseBackoff: 50 * time.Millisecond, Seed: 7, BreakerMinSamples: 100}, isTransport)
+	slept := fakeSleeper(r)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	calls := 0
+	start := time.Now()
+	_, err := Do(ctx, r, func(ctx context.Context) (int, error) {
+		calls++
+		return 0, errTransport
+	})
+	if err == nil {
+		t.Fatal("Do succeeded with a failing fn")
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times with no budget for a retry, want 1", calls)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("slept %v despite the deadline budget", *slept)
+	}
+	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+		t.Fatalf("gave up after %v, should return well before the nominal backoff", elapsed)
+	}
+}
+
+func TestDoStopsWhenCallerContextDies(t *testing.T) {
+	r := New(Config{MaxAttempts: 5, Seed: 7, BreakerMinSamples: 100}, isTransport)
+	fakeSleeper(r)
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	_, err := Do(ctx, r, func(ctx context.Context) (int, error) {
+		calls++
+		cancel()
+		return 0, errTransport
+	})
+	if calls != 1 {
+		t.Fatalf("fn ran %d times after the caller cancelled, want 1", calls)
+	}
+	if err == nil {
+		t.Fatal("Do returned nil after caller cancellation")
+	}
+}
+
+func TestDoAttemptTimeoutBoundsEachTry(t *testing.T) {
+	// Each attempt gets its own 20ms deadline carved from a roomy caller
+	// budget; a stalling fn must be cut off per attempt, so all three
+	// attempts run (the caller ctx survives).
+	r := New(Config{MaxAttempts: 3, AttemptTimeout: 20 * time.Millisecond,
+		BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		Seed: 7, BreakerMinSamples: 100}, isTransport)
+	calls := 0
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := Do(ctx, r, func(actx context.Context) (int, error) {
+		calls++
+		<-actx.Done() // stall until the per-attempt deadline fires
+		return 0, fmt.Errorf("stalled: %w", errTransport)
+	})
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want 3 (per-attempt timeout must not kill the caller ctx)", calls)
+	}
+	if err == nil || ctx.Err() != nil {
+		t.Fatalf("err = %v, caller ctx err = %v", err, ctx.Err())
+	}
+}
+
+func TestDoFastFailsWhenBreakerOpen(t *testing.T) {
+	r := New(Config{MaxAttempts: 1, BreakerWindow: 4, BreakerMinSamples: 2,
+		BreakerFailureRatio: 0.5, BreakerOpenFor: time.Hour, Seed: 7}, isTransport)
+	fakeSleeper(r)
+	for i := 0; i < 2; i++ {
+		if _, err := Do(context.Background(), r, func(ctx context.Context) (int, error) {
+			return 0, errTransport
+		}); err == nil {
+			t.Fatal("failing fn reported success")
+		}
+	}
+	if r.Breaker().State() != Open {
+		t.Fatalf("breaker state = %v, want open", r.Breaker().State())
+	}
+	calls := 0
+	start := time.Now()
+	_, err := Do(context.Background(), r, func(ctx context.Context) (int, error) {
+		calls++
+		return 7, nil
+	})
+	if calls != 0 {
+		t.Fatal("open breaker let the request through")
+	}
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("err = %v, want ErrOpen", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Fatalf("fast-fail took %v", elapsed)
+	}
+}
+
+func TestNilResilienceIsPassthrough(t *testing.T) {
+	calls := 0
+	got, err := Do(context.Background(), nil, func(ctx context.Context) (string, error) {
+		calls++
+		return "ok", nil
+	})
+	if err != nil || got != "ok" || calls != 1 {
+		t.Fatalf("nil passthrough = (%q, %v) after %d calls", got, err, calls)
+	}
+	var r *Resilience
+	if r.ServeStale() {
+		t.Fatal("nil Resilience reports ServeStale")
+	}
+}
+
+func TestBackoffDecorrelatedJitterIsCappedAndSeeded(t *testing.T) {
+	mk := func() []time.Duration {
+		r := New(Config{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Seed: 99}, isTransport)
+		var out []time.Duration
+		prev := r.cfg.BaseBackoff
+		for i := 0; i < 32; i++ {
+			prev = r.nextBackoff(prev)
+			out = append(out, prev)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	grew := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("backoff %d not reproducible: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 10*time.Millisecond || a[i] > 80*time.Millisecond {
+			t.Fatalf("backoff %d = %v outside [base, cap]", i, a[i])
+		}
+		if a[i] > 30*time.Millisecond {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatal("backoff never grew beyond 3x base: jitter looks degenerate")
+	}
+}

@@ -16,6 +16,9 @@ type Result struct {
 	Schema []plan.ColInfo
 	Cols   []*storage.Vector
 	N      int
+	// Stale marks a degraded answer served from an expired cache entry
+	// during a backend outage; clients may badge it and re-query later.
+	Stale bool
 }
 
 // NewResult allocates an empty result with the given schema.

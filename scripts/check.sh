@@ -28,4 +28,7 @@ fi
 echo "== metrics smoke (loadsim -metrics json)"
 scripts/metrics_smoke.sh
 
+echo "== coverage ratchet"
+scripts/coverage_check.sh
+
 echo "OK"

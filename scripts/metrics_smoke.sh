@@ -18,7 +18,8 @@ fi
 for key in '"remote.roundtrip.ns"' '"pool.acquire.wait.ns"' '"core.batch.size"' '"cache.literal.hits"' \
            '"cache.singleflight.leader"' '"cache.singleflight.shared"' \
            '"cache.literal.evict_sampled"' '"cache.intelligent.evict_sampled"' \
-           '"cache.distributed.errors"'; do
+           '"cache.distributed.errors"' '"cache.stale_served"' \
+           '"resilience.retry.attempts"' '"resilience.breaker.fast_fails"'; do
     if ! grep -q "$key" <<<"$metrics_json"; then
         echo "metrics smoke FAILED: $key missing from loadsim -metrics json output" >&2
         exit 1
