@@ -232,6 +232,7 @@ func (s *intelShard) get(q *query.Query) (*exec.Result, bool) {
 			return res, true
 		}
 	}
+	s.sweepBucketLocked(q.GroupKey(), now)
 	if s.opt.BestMatch {
 		// Least-post-processing selection: the dominant local cost is the
 		// number of stored rows to filter and re-group.
@@ -279,6 +280,7 @@ func (s *intelShard) getStale(q *query.Query) (*exec.Result, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.clock()
+	s.sweepBucketLocked(q.GroupKey(), now)
 	if e, ok := s.byKey[q.Key()]; ok && e.usableStale(now) {
 		if res, ok := Derive(e.Query, e.Result, q); ok {
 			e.Uses++
@@ -322,6 +324,24 @@ func (s *intelShard) put(q *query.Query, res *exec.Result, cost time.Duration) {
 	s.buckets[q.GroupKey()] = append(s.buckets[q.GroupKey()], e)
 	s.curBytes += e.sizeBytes()
 	s.evictLocked()
+}
+
+// sweepBucketLocked drops entries past their stale grace window from one
+// subsumption bucket before it is scanned: dead entries can never satisfy
+// a fresh or degraded read, so leaving them in place (as skip-only scans
+// would) lets them consume the byte/entry budget until eviction pressure.
+// The exact-key path drops dead entries on contact; this keeps the bucket
+// scans symmetric.
+func (s *intelShard) sweepBucketLocked(gk string, now time.Time) {
+	var dead []*Entry
+	for _, e := range s.buckets[gk] {
+		if !e.usableStale(now) {
+			dead = append(dead, e)
+		}
+	}
+	for _, e := range dead {
+		s.removeLocked(e)
+	}
 }
 
 func (s *intelShard) removeLocked(e *Entry) {

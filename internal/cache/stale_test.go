@@ -171,6 +171,46 @@ func TestIntelligentFreshForExpiresGets(t *testing.T) {
 	}
 }
 
+func TestIntelligentBucketScanDropsDeadEntries(t *testing.T) {
+	c := NewIntelligentCache(Options{MaxEntries: 8, Shards: 1,
+		FreshFor: time.Minute, StaleGrace: time.Minute})
+	t0 := time.Unix(2_000_000, 0)
+	now := t0
+	c.setClock(func() time.Time { return now })
+
+	q := staleTestQuery()
+	c.Put(q, staleTestResult(), time.Millisecond)
+	sh := c.shardFor(q)
+	now = t0.Add(3 * time.Minute) // past StaleUntil: dead weight
+
+	// A same-bucket query whose exact key misses exercises the subsumption
+	// scan; it must reclaim the dead entry's budget, not just skip it.
+	r := q.Clone()
+	r.Filters = []query.Filter{query.InFilter("carrier", storage.StrValue("AA"))}
+	if _, ok := c.Get(r); ok {
+		t.Fatal("dead entry served through subsumption")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("dead entry not dropped by the bucket scan: Len = %d", c.Len())
+	}
+	if sh.curBytes != 0 {
+		t.Fatalf("byte accounting leaked %d bytes after sweep", sh.curBytes)
+	}
+	if len(sh.buckets) != 0 {
+		t.Fatalf("dead entry still bucketed: %d buckets live", len(sh.buckets))
+	}
+
+	// The degraded-read scan sweeps the same way.
+	c.Put(q, staleTestResult(), time.Millisecond)
+	now = now.Add(3 * time.Minute)
+	if _, ok := c.GetStale(r); ok {
+		t.Fatal("GetStale served a dead entry")
+	}
+	if c.Len() != 0 || sh.curBytes != 0 {
+		t.Fatalf("GetStale scan left dead weight: Len = %d, curBytes = %d", c.Len(), sh.curBytes)
+	}
+}
+
 func TestIntelligentGetStaleExactAndDerived(t *testing.T) {
 	c := NewIntelligentCache(Options{MaxEntries: 8, Shards: 1,
 		FreshFor: time.Minute, StaleGrace: time.Hour})

@@ -100,29 +100,51 @@ func (b *Breaker) setClock(fn func() time.Time) {
 // the cooldown elapses, then transition to half-open and admit up to
 // maxProbes concurrent probes.
 func (b *Breaker) Allow() bool {
+	ok, _ := b.allow()
+	return ok
+}
+
+// allow additionally reports whether the admission consumed a half-open
+// probe slot. Only RecordSuccess/RecordFailure exit the half-open state,
+// so a caller whose attempt ends with no outcome to record (e.g. its own
+// context expired) must return the slot via releaseProbe — otherwise the
+// slot leaks and the breaker wedges in half-open, fast-failing forever.
+func (b *Breaker) allow() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case Closed:
-		return true
+		return true, false
 	case Open:
 		if b.now().Sub(b.openedAt) < b.openFor {
 			b.fastFails++
 			cBreakerFastFail.Inc()
-			return false
+			return false, false
 		}
 		b.state = HalfOpen
 		b.probes = 1
 		cBreakerHalfOpen.Inc()
-		return true
+		return true, true
 	default: // HalfOpen
 		if b.probes < b.maxProbes {
 			b.probes++
-			return true
+			return true, true
 		}
 		b.fastFails++
 		cBreakerFastFail.Inc()
-		return false
+		return false, false
+	}
+}
+
+// releaseProbe returns a half-open probe slot admitted by allow when the
+// attempt produced no outcome. A Record* from a concurrent probe may have
+// already moved the state on (resetting probes), in which case there is
+// nothing to return.
+func (b *Breaker) releaseProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen && b.probes > 0 {
+		b.probes--
 	}
 }
 

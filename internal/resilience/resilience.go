@@ -15,10 +15,13 @@ package resilience
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vizq/internal/obs"
@@ -48,8 +51,9 @@ type Config struct {
 	// caller's deadline applies). Without it, one stalled attempt eats
 	// the whole retry budget — set it well below the caller's deadline.
 	AttemptTimeout time.Duration
-	// Seed fixes the jitter sequence for reproducible tests (0 = seeded
-	// from the base backoff; jitter remains deterministic per instance).
+	// Seed fixes the jitter sequence for reproducible tests (0 = a unique
+	// per-instance random seed, so identically-configured sources retrying
+	// against one struggling backend do not back off in lockstep).
 	Seed int64
 
 	// BreakerWindow is the rolling outcome window size (default 32).
@@ -100,9 +104,24 @@ func (c Config) withDefaults() Config {
 		c.BreakerHalfOpenProbes = 1
 	}
 	if c.Seed == 0 {
-		c.Seed = int64(c.BaseBackoff) | 1
+		c.Seed = entropySeed()
 	}
 	return c
+}
+
+// seedSalt differentiates fallback seeds minted within one clock tick.
+var seedSalt atomic.Int64
+
+// entropySeed mints a per-instance jitter seed. A deterministic default
+// (shared by every instance with the same config) would make concurrent
+// sources retry in lockstep, defeating decorrelated jitter exactly when
+// it matters — during a shared backend's outage.
+func entropySeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		return int64(binary.LittleEndian.Uint64(b[:])) | 1
+	}
+	return (time.Now().UnixNano() ^ seedSalt.Add(0x9e3779b9)) | 1
 }
 
 // Resilience wires a retry policy and one circuit breaker for one data
@@ -184,7 +203,8 @@ func Do[T any](ctx context.Context, r *Resilience, fn func(context.Context) (T, 
 	}
 	backoff := r.cfg.BaseBackoff
 	for attempt := 1; ; attempt++ {
-		if !r.br.Allow() {
+		allowed, probe := r.br.allow()
+		if !allowed {
 			// The span makes fast-fails visible in per-stage traces: its
 			// near-zero duration is the point, vs. a timeout-length wait.
 			_, sp := obs.StartSpan(ctx, obs.SpanBreaker)
@@ -200,7 +220,12 @@ func Do[T any](ctx context.Context, r *Resilience, fn func(context.Context) (T, 
 		}
 		if ctx.Err() != nil {
 			// The caller's own budget expired; the backend was not
-			// necessarily at fault, so nothing is recorded.
+			// necessarily at fault, so no outcome is recorded — but an
+			// admitted half-open probe slot must be returned, or the breaker
+			// wedges in half-open with no probe left to close or re-open it.
+			if probe {
+				r.br.releaseProbe()
+			}
 			return zero, err
 		}
 		if !r.retryable(err) {
@@ -237,11 +262,10 @@ func attemptOne[T any](ctx context.Context, r *Resilience, n int, fn func(contex
 		defer sp.Finish()
 	}
 	actx := ctx
-	cancel := func() {}
 	if r.cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
 		actx, cancel = context.WithTimeout(ctx, r.cfg.AttemptTimeout)
+		defer cancel()
 	}
-	v, err := fn(actx)
-	cancel()
-	return v, err
+	return fn(actx)
 }

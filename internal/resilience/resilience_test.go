@@ -183,6 +183,76 @@ func TestDoFastFailsWhenBreakerOpen(t *testing.T) {
 	}
 }
 
+func TestHalfOpenProbeSlotReleasedOnCallerExpiry(t *testing.T) {
+	r := New(Config{MaxAttempts: 1, BreakerWindow: 4, BreakerMinSamples: 2,
+		BreakerFailureRatio: 0.5, BreakerOpenFor: time.Hour, Seed: 7}, isTransport)
+	fakeSleeper(r)
+	clock := time.Unix(3_000_000, 0)
+	r.Breaker().setClock(func() time.Time { return clock })
+	for i := 0; i < 2; i++ {
+		if _, err := Do(context.Background(), r, func(ctx context.Context) (int, error) {
+			return 0, errTransport
+		}); err == nil {
+			t.Fatal("failing fn reported success")
+		}
+	}
+	if r.Breaker().State() != Open {
+		t.Fatalf("breaker state = %v, want open", r.Breaker().State())
+	}
+	// The cooldown elapses and the next request is admitted as the one
+	// half-open probe — but its caller gives up mid-attempt, so Do has no
+	// outcome to record on the breaker.
+	clock = clock.Add(2 * time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	if _, err := Do(ctx, r, func(context.Context) (int, error) {
+		calls++
+		cancel()
+		return 0, errTransport
+	}); err == nil || calls != 1 {
+		t.Fatalf("abandoned probe: calls = %d, err = %v", calls, err)
+	}
+	if st := r.Breaker().State(); st != HalfOpen {
+		t.Fatalf("state after abandoned probe = %v, want half-open", st)
+	}
+	// The probe slot must have been returned: the next request probes the
+	// healed backend and closes the circuit, instead of the breaker staying
+	// wedged in half-open fast-failing everything forever.
+	got, err := Do(context.Background(), r, func(context.Context) (int, error) {
+		return 9, nil
+	})
+	if err != nil || got != 9 {
+		t.Fatalf("breaker wedged in half-open: Do = (%d, %v)", got, err)
+	}
+	if st := r.Breaker().State(); st != Closed {
+		t.Fatalf("state after healthy probe = %v, want closed", st)
+	}
+}
+
+func TestDefaultSeedIsPerInstance(t *testing.T) {
+	// Without an explicit Seed, identically-configured instances must not
+	// share a jitter sequence: lockstep backoff across sources defeats
+	// decorrelated jitter exactly when a shared backend is struggling.
+	// (Entropy seeds make a collision astronomically unlikely.)
+	a := New(Config{}, isTransport)
+	b := New(Config{}, isTransport)
+	if a.cfg.Seed == b.cfg.Seed {
+		t.Fatalf("default seeds collide: %d", a.cfg.Seed)
+	}
+	prevA, prevB := a.cfg.BaseBackoff, b.cfg.BaseBackoff
+	same := true
+	for i := 0; i < 8; i++ {
+		prevA, prevB = a.nextBackoff(prevA), b.nextBackoff(prevB)
+		if prevA != prevB {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two default-seeded instances produced identical backoff sequences")
+	}
+}
+
 func TestNilResilienceIsPassthrough(t *testing.T) {
 	calls := 0
 	got, err := Do(context.Background(), nil, func(ctx context.Context) (string, error) {
