@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkAtomics flags struct fields that are accessed both through
+// sync/atomic (atomic.AddInt64(&s.n, 1), atomic.LoadInt64(&s.n), ...) and
+// through plain loads or stores. Mixing the two silently downgrades the
+// atomic side: the plain access races with every atomic update, and the
+// race detector only catches it when both sides actually collide under
+// test. This is the PR 1 stats-counter race generalized into a check.
+//
+// The pass is package-local two-phase: first collect every field reached
+// via an atomic call's &-argument (identified by its types.Object, so
+// aliasing through different receiver names is handled), then flag every
+// plain selector access to one of those fields. Fields of types from
+// other packages are invisible to the stub importer and are skipped —
+// the check under-approximates rather than guessing.
+func checkAtomics(pkg *pkgInfo) []Finding {
+	atomicFields := make(map[types.Object]bool)
+	atomicArgs := make(map[*ast.SelectorExpr]bool)
+
+	for _, fi := range pkg.Files {
+		ast.Inspect(fi.File, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := fieldObjOf(pkg, sel); obj != nil {
+					atomicFields[obj] = true
+					atomicArgs[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	for _, fi := range pkg.Files {
+		ast.Inspect(fi.File, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgs[sel] {
+				return true
+			}
+			obj := fieldObjOf(pkg, sel)
+			if obj == nil || !atomicFields[obj] {
+				return true
+			}
+			if fi.allowedAt(pkg.Fset, sel.Pos(), "atomics") {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   pkg.Fset.Position(sel.Pos()),
+				Check: "atomics",
+				Msg: fmt.Sprintf("field %s is updated with sync/atomic elsewhere; this plain access races with those updates (use atomic.Load/Store here too)",
+					fieldLabel(obj)),
+			})
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return out
+}
+
+// atomicOps are the sync/atomic function-name prefixes that take an
+// address argument.
+var atomicOps = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"}
+
+func isAtomicCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != "atomic" {
+		return false
+	}
+	for _, op := range atomicOps {
+		if strings.HasPrefix(sel.Sel.Name, op) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldObjOf resolves a selector to the struct field it names, or nil
+// when it is not a field access (method, qualified identifier, or a type
+// the stub importer could not resolve).
+func fieldObjOf(pkg *pkgInfo, sel *ast.SelectorExpr) types.Object {
+	if s, ok := pkg.Info.Selections[sel]; ok {
+		if s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+		return nil
+	}
+	if obj, ok := pkg.Info.Uses[sel.Sel].(*types.Var); ok && obj.IsField() {
+		return obj
+	}
+	return nil
+}
+
+// fieldLabel renders a field as Type.Field when the owning struct is a
+// named type, else just the field name.
+func fieldLabel(obj types.Object) string {
+	// Walk the package scope for a named struct type declaring this field.
+	if pkg := obj.Pkg(); pkg != nil {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == obj {
+					return tn.Name() + "." + obj.Name()
+				}
+			}
+		}
+	}
+	return obj.Name()
+}

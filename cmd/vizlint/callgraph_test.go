@@ -1,0 +1,142 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"slices"
+	"testing"
+)
+
+// makeTestPkg builds a pkgInfo from source, the way loadPackage would.
+func makeTestPkg(t *testing.T, fset *token.FileSet, importPath, src string) *pkgInfo {
+	t.Helper()
+	f, err := parser.ParseFile(fset, importPath+"/src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", importPath, err)
+	}
+	fi := &fileInfo{
+		Path:    importPath + "/src.go",
+		File:    f,
+		allow:   buildAllow(fset, f),
+		imports: moduleImports(f, "vizq"),
+	}
+	pkg := &pkgInfo{ImportPath: importPath, Fset: fset, Files: []*fileInfo{fi}}
+	pkg.typeCheck([]*ast.File{f})
+	pkg.buildIndexes()
+	return pkg
+}
+
+func TestCallGraphConstruction(t *testing.T) {
+	fset := token.NewFileSet()
+	util := makeTestPkg(t, fset, "vizq/internal/util", `
+package util
+
+func Helper() {}
+
+func unexported() {}
+`)
+	app := makeTestPkg(t, fset, "vizq/internal/app", `
+package app
+
+import (
+	"fmt"
+
+	"vizq/internal/util"
+)
+
+type server struct{ n int }
+
+func (s *server) run() {
+	s.step()
+	work()
+	util.Helper()
+	fmt.Println(s.n) // non-module import: no edge
+}
+
+func (s *server) step() {}
+
+func work() {
+	go spawned() // goroutine calls are not synchronous callees
+}
+
+func spawned() {}
+`)
+	mod := moduleFor(fset, "vizq", util, app)
+
+	tests := []struct {
+		name   string
+		caller string
+		want   []string
+	}{
+		{
+			name:   "ident, method and cross-package calls resolve",
+			caller: "vizq/internal/app::server.run",
+			want: []string{
+				"vizq/internal/app::server.step",
+				"vizq/internal/app::work",
+				"vizq/internal/util::Helper",
+			},
+		},
+		{
+			name:   "goroutine bodies are excluded",
+			caller: "vizq/internal/app::work",
+			want:   nil,
+		},
+		{
+			name:   "leaf function has no callees",
+			caller: "vizq/internal/util::Helper",
+			want:   nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, ok := mod.funcs[tt.caller]; !ok {
+				t.Fatalf("function %s not indexed", tt.caller)
+			}
+			got := mod.callees[tt.caller]
+			if !slices.Equal(got, tt.want) {
+				t.Errorf("callees(%s) = %v, want %v", tt.caller, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCallGraphFuncKeyAndShortName(t *testing.T) {
+	if got := funcKey("vizq/internal/app", "server", "run"); got != "vizq/internal/app::server.run" {
+		t.Errorf("funcKey method = %q", got)
+	}
+	if got := funcKey("vizq/internal/app", "", "work"); got != "vizq/internal/app::work" {
+		t.Errorf("funcKey func = %q", got)
+	}
+	if got := shortFuncName("vizq/internal/app::server.run", "vizq/internal/app"); got != "server.run" {
+		t.Errorf("same-package short name = %q", got)
+	}
+	if got := shortFuncName("vizq/internal/util::Helper", "vizq/internal/app"); got != "util.Helper" {
+		t.Errorf("cross-package short name = %q", got)
+	}
+}
+
+// TestCallGraphMethodResolutionByType checks that method calls resolve
+// through the receiver's named type, not the variable name.
+func TestCallGraphMethodResolutionByType(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := makeTestPkg(t, fset, "vizq/internal/m", `
+package m
+
+type widget struct{}
+
+func (w *widget) spin() {}
+
+func use() {
+	var anyName widget
+	anyName.spin()
+}
+`)
+	mod := moduleFor(fset, "vizq", pkg)
+	got := mod.callees["vizq/internal/m::use"]
+	want := []string{"vizq/internal/m::widget.spin"}
+	if !slices.Equal(got, want) {
+		t.Errorf("callees(use) = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses a function body and builds its CFG.
+func buildTestCFG(t *testing.T, body string) *cfg {
+	t.Helper()
+	src := "package p\n\nfunc f(ok bool, n int, ch chan int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return buildCFG(fd.Body)
+}
+
+// reach computes the set of blocks reachable from the entry.
+func reach(g *cfg) map[int]bool {
+	seen := map[int]bool{g.entry.id: true}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range blk.succs {
+			if !seen[e.to.id] {
+				seen[e.to.id] = true
+				work = append(work, e.to)
+			}
+		}
+	}
+	return seen
+}
+
+// countGuardEdges counts edges carrying a boolean guard condition.
+func countGuardEdges(g *cfg) int {
+	n := 0
+	for _, blk := range g.blocks {
+		for _, e := range blk.succs {
+			if e.cond != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// countReturns counts reachable blocks terminated by a return statement.
+func countReturns(g *cfg, reachable map[int]bool) int {
+	n := 0
+	for _, blk := range g.blocks {
+		if reachable[blk.id] && blk.returnStmt() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCFGShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		// wantExit: the fall-off-the-end block is reachable.
+		wantExit bool
+		// wantGuards: edges refined by a bare boolean condition.
+		wantGuards int
+		// wantReturns: reachable return-terminated blocks.
+		wantReturns int
+	}{
+		{
+			name:     "straight line",
+			body:     "n++",
+			wantExit: true,
+		},
+		{
+			name:       "if without else",
+			body:       "if ok {\nn++\n}",
+			wantExit:   true,
+			wantGuards: 2, // then edge and implicit-else edge
+		},
+		{
+			name:        "negated guard",
+			body:        "if !ok {\nreturn\n}\nn++",
+			wantExit:    true,
+			wantGuards:  2,
+			wantReturns: 1,
+		},
+		{
+			name:        "if else both return",
+			body:        "if n > 0 {\nreturn\n} else {\nreturn\n}",
+			wantExit:    false,
+			wantReturns: 2,
+		},
+		{
+			name:     "for with condition",
+			body:     "for n > 0 {\nn--\n}",
+			wantExit: true,
+		},
+		{
+			name:     "infinite loop no break",
+			body:     "for {\nn++\n}",
+			wantExit: false,
+		},
+		{
+			name:        "infinite loop with return",
+			body:        "for {\nif ok {\nreturn\n}\n}",
+			wantExit:    false,
+			wantGuards:  2,
+			wantReturns: 1,
+		},
+		{
+			name:     "infinite loop with break",
+			body:     "for {\nif ok {\nbreak\n}\n}",
+			wantExit: true, wantGuards: 2,
+		},
+		{
+			name:     "labeled break out of nested loop",
+			body:     "outer:\nfor {\nfor {\nbreak outer\n}\n}",
+			wantExit: true,
+		},
+		{
+			name:     "continue keeps loop reachable",
+			body:     "for n > 0 {\nif ok {\ncontinue\n}\nn--\n}",
+			wantExit: true, wantGuards: 2,
+		},
+		{
+			name:     "range loop",
+			body:     "for i := range ch {\n_ = i\n}",
+			wantExit: true,
+		},
+		{
+			name:        "switch without default may skip all cases",
+			body:        "switch n {\ncase 1:\nreturn\ncase 2:\nreturn\n}",
+			wantExit:    true,
+			wantReturns: 2,
+		},
+		{
+			name:        "switch with default all return",
+			body:        "switch n {\ncase 1:\nreturn\ndefault:\nreturn\n}",
+			wantExit:    false,
+			wantReturns: 2,
+		},
+		{
+			name:        "fallthrough reaches next case",
+			body:        "switch n {\ncase 1:\nfallthrough\ncase 2:\nreturn\n}",
+			wantExit:    true,
+			wantReturns: 1,
+		},
+		{
+			name:        "select executes exactly one clause",
+			body:        "select {\ncase <-ch:\nreturn\ncase ch <- 1:\nreturn\n}",
+			wantExit:    false,
+			wantReturns: 2,
+		},
+		{
+			name:     "select with default falls through",
+			body:     "select {\ncase <-ch:\nreturn\ndefault:\n}",
+			wantExit: true, wantReturns: 1,
+		},
+		{
+			name:     "panic terminates the path",
+			body:     "if ok {\npanic(\"boom\")\n}\nn++",
+			wantExit: true, wantGuards: 2,
+		},
+		{
+			name:     "both branches panic",
+			body:     "if ok {\npanic(\"a\")\n} else {\npanic(\"b\")\n}",
+			wantExit: false, wantGuards: 2,
+		},
+		{
+			name:     "defer is an ordinary node",
+			body:     "defer close(ch)\nn++",
+			wantExit: true,
+		},
+		{
+			name:     "goto is conservative: no edge",
+			body:     "goto done\ndone:\nreturn",
+			wantExit: false,
+		},
+		{
+			name:        "unreachable code after return",
+			body:        "return\nn++", //nolint
+			wantExit:    false,
+			wantReturns: 1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := buildTestCFG(t, tt.body)
+			reachable := reach(g)
+			if got := reachable[g.exit.id]; got != tt.wantExit {
+				t.Errorf("exit reachable = %v, want %v", got, tt.wantExit)
+			}
+			if got := countGuardEdges(g); got != tt.wantGuards {
+				t.Errorf("guard edges = %d, want %d", got, tt.wantGuards)
+			}
+			if got := countReturns(g, reachable); got != tt.wantReturns {
+				t.Errorf("reachable returns = %d, want %d", got, tt.wantReturns)
+			}
+		})
+	}
+}
+
+// TestCFGReturnIsLastNode pins the invariant transfer functions rely on:
+// a ReturnStmt is always the final node of its block.
+func TestCFGReturnIsLastNode(t *testing.T) {
+	g := buildTestCFG(t, "if ok {\nn++\nreturn\n}\nn--")
+	for _, blk := range g.blocks {
+		for i, n := range blk.nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok && i != len(blk.nodes)-1 {
+				t.Errorf("block %d: return at index %d of %d nodes", blk.id, i, len(blk.nodes))
+			}
+		}
+	}
+}
+
+// TestCFGGuardEdgeSense checks that `if ok { ... }` yields a true-sense
+// edge into the then block and a false-sense edge around it.
+func TestCFGGuardEdgeSense(t *testing.T) {
+	g := buildTestCFG(t, "if ok {\nn++\n}")
+	var senses []bool
+	for _, e := range g.entry.succs {
+		if e.cond == nil || e.cond.Name != "ok" {
+			t.Errorf("entry edge without ok guard: %+v", e)
+			continue
+		}
+		senses = append(senses, e.sense)
+	}
+	if len(senses) != 2 || senses[0] == senses[1] {
+		t.Errorf("want one true and one false edge, got %v", senses)
+	}
+}

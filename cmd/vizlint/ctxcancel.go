@@ -3,7 +3,6 @@ package main
 import (
 	"fmt"
 	"go/ast"
-	"go/token"
 )
 
 // checkCtxCancel verifies that the cancel function returned by
@@ -12,359 +11,62 @@ import (
 // until the deadline fires, and go vet's lostcancel only catches the
 // never-called case, not the branch that bails out early.
 //
-// The analysis mirrors checkObs: a forward walk over the statement tree
-// tracking a must-cancel set; branch states merge by intersection so only
-// cancels that are definitely still pending get reported. A cancel func
-// that escapes the function (passed to a call, returned, captured by a
-// goroutine, stored in a struct) is assumed called elsewhere and dropped
-// from tracking.
+// The check is an instantiation of the shared must-release engine
+// (dataflow.go) over the function CFG (cfg.go). A cancel func that escapes
+// the function (passed to a call, returned, captured by a goroutine,
+// stored in a struct) is assumed called elsewhere and dropped from
+// tracking.
 func checkCtxCancel(pkg *pkgInfo, fi *fileInfo) []Finding {
-	var out []Finding
-	cc := &cancelChecker{pkg: pkg, fi: fi, out: &out}
-	for _, decl := range fi.File.Decls {
-		fd, ok := decl.(*ast.FuncDecl)
-		if !ok || fd.Body == nil {
-			continue
-		}
-		cc.runFunc(fd.Body)
-		// Function literals run on their own schedule; analyze each body
-		// as an independent function.
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			if lit, ok := n.(*ast.FuncLit); ok {
-				cc.runFunc(lit.Body)
-			}
-			return true
-		})
-	}
-	return out
+	return runReleaseCheck(pkg, fi, ctxCancelSpec)
 }
 
-type cancelChecker struct {
-	pkg *pkgInfo
-	fi  *fileInfo
-	out *[]Finding
+var ctxCancelSpec = &resourceSpec{
+	check:   "ctxcancel",
+	acquire: withCancelAcquire,
+	release: cancelCallRelease,
+	leakReturn: func(name string) string {
+		return fmt.Sprintf("return path leaves context cancel func %s uncalled (missing %s(); prefer defer)", name, name)
+	},
+	leakExit: func(name string) string {
+		return fmt.Sprintf("context cancel func %s is never called on the fall-through path (missing %s(); prefer defer)", name, name)
+	},
+	reboundMsg: func(name string) string {
+		return fmt.Sprintf("cancel func %s rebound before being called", name)
+	},
 }
 
-// openCancel is one pending, uncalled cancel func on the current path.
-type openCancel struct {
-	pos      token.Pos
-	viaDefer bool // the call is scheduled by defer: pending until return, but not leaked
-}
-
-type cancelState map[string]openCancel
-
-func cloneCancels(s cancelState) cancelState {
-	c := make(cancelState, len(s))
-	for k, v := range s {
-		c[k] = v
-	}
-	return c
-}
-
-// intersectCancels keeps cancels pending in both branch states; viaDefer
-// survives only when both branches scheduled the call.
-func intersectCancels(a, b cancelState) cancelState {
-	out := make(cancelState)
-	for k, va := range a {
-		if vb, ok := b[k]; ok {
-			va.viaDefer = va.viaDefer && vb.viaDefer
-			out[k] = va
-		}
-	}
-	return out
-}
-
-func (cc *cancelChecker) runFunc(body *ast.BlockStmt) {
-	open, terminated := cc.stmts(body.List, cancelState{})
-	if !terminated {
-		for key, o := range open {
-			if !o.viaDefer {
-				cc.report(o.pos, "context cancel func %s is never called on the fall-through path (missing %s(); prefer defer)", key, key)
-			}
-		}
-	}
-}
-
-func (cc *cancelChecker) report(pos token.Pos, format string, args ...any) {
-	if cc.fi.allowedAt(cc.pkg.Fset, pos, "ctxcancel") {
-		return
-	}
-	*cc.out = append(*cc.out, Finding{
-		Pos:   cc.pkg.Fset.Position(pos),
-		Check: "ctxcancel",
-		Msg:   fmt.Sprintf(format, args...),
-	})
-}
-
-func (cc *cancelChecker) stmts(list []ast.Stmt, open cancelState) (cancelState, bool) {
-	for _, s := range list {
-		var terminated bool
-		open, terminated = cc.stmt(s, open)
-		if terminated {
-			return open, true
-		}
-	}
-	return open, false
-}
-
-func (cc *cancelChecker) stmt(s ast.Stmt, open cancelState) (cancelState, bool) {
-	switch x := s.(type) {
-	case *ast.ExprStmt:
-		if call, ok := x.X.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				return open, true
-			}
-			if name := cancelCallTarget(call); name != "" {
-				if _, tracked := open[name]; tracked {
-					delete(open, name)
-					return open, false
-				}
-			}
-		}
-		cc.scanCancelEscapes(x.X, open)
-		return open, false
-
-	case *ast.AssignStmt:
-		for _, rhs := range x.Rhs {
-			cc.scanCancelEscapes(rhs, open)
-		}
-		if name := withCancelTarget(x); name != "" {
-			// Rebinding the name orphans the previous cancel: nothing can
-			// call it anymore, so report it right here.
-			if old, ok := open[name]; ok && !old.viaDefer {
-				cc.report(old.pos, "cancel func %s rebound before being called", name)
-			}
-			open[name] = openCancel{pos: x.Pos()}
-		}
-		return open, false
-
-	case *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt, *ast.EmptyStmt:
-		return open, false
-
-	case *ast.DeferStmt:
-		cc.handleDefer(x, open)
-		return open, false
-
-	case *ast.GoStmt:
-		// A goroutine capturing the cancel may call it on its own schedule.
-		dropMentioned(x.Call, open)
-		return open, false
-
-	case *ast.ReturnStmt:
-		for _, r := range x.Results {
-			dropMentioned(r, open)
-		}
-		for key, o := range open {
-			if !o.viaDefer {
-				cc.report(o.pos, "return path leaves context cancel func %s uncalled (missing %s(); prefer defer)", key, key)
-			}
-		}
-		return open, true
-
-	case *ast.BranchStmt:
-		return open, true // leaves this path; loop merge handles the rest
-
-	case *ast.BlockStmt:
-		return cc.stmts(x.List, open)
-
-	case *ast.LabeledStmt:
-		return cc.stmt(x.Stmt, open)
-
-	case *ast.IfStmt:
-		if x.Init != nil {
-			open, _ = cc.stmt(x.Init, open)
-		}
-		cc.scanCancelEscapes(x.Cond, open)
-		thenOpen, thenTerm := cc.stmts(x.Body.List, cloneCancels(open))
-		elseOpen, elseTerm := cloneCancels(open), false
-		switch e := x.Else.(type) {
-		case *ast.BlockStmt:
-			elseOpen, elseTerm = cc.stmts(e.List, elseOpen)
-		case *ast.IfStmt:
-			elseOpen, elseTerm = cc.stmt(e, elseOpen)
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return open, true
-		case thenTerm:
-			return elseOpen, false
-		case elseTerm:
-			return thenOpen, false
-		default:
-			return intersectCancels(thenOpen, elseOpen), false
-		}
-
-	case *ast.ForStmt:
-		if x.Init != nil {
-			open, _ = cc.stmt(x.Init, open)
-		}
-		if x.Cond != nil {
-			cc.scanCancelEscapes(x.Cond, open)
-		}
-		bodyOpen, bodyTerm := cc.stmts(x.Body.List, cloneCancels(open))
-		if bodyTerm {
-			return open, false // loop may run zero times
-		}
-		return intersectCancels(open, bodyOpen), false
-
-	case *ast.RangeStmt:
-		cc.scanCancelEscapes(x.X, open)
-		bodyOpen, bodyTerm := cc.stmts(x.Body.List, cloneCancels(open))
-		if bodyTerm {
-			return open, false
-		}
-		return intersectCancels(open, bodyOpen), false
-
-	case *ast.SwitchStmt:
-		if x.Init != nil {
-			open, _ = cc.stmt(x.Init, open)
-		}
-		if x.Tag != nil {
-			cc.scanCancelEscapes(x.Tag, open)
-		}
-		return cc.clauses(caseBodies(x.Body), hasDefaultCase(x.Body), open)
-
-	case *ast.TypeSwitchStmt:
-		return cc.clauses(caseBodies(x.Body), hasDefaultCase(x.Body), open)
-
-	case *ast.SelectStmt:
-		var bodies [][]ast.Stmt
-		for _, c := range x.Body.List {
-			if clause, ok := c.(*ast.CommClause); ok {
-				bodies = append(bodies, clause.Body)
-			}
-		}
-		return cc.clauses(bodies, true, open)
-	}
-	return open, false
-}
-
-// clauses merges switch/select case-body states, mirroring spanChecker.
-func (cc *cancelChecker) clauses(bodies [][]ast.Stmt, exhaustive bool, open cancelState) (cancelState, bool) {
-	var states []cancelState
-	allTerm := len(bodies) > 0
-	for _, body := range bodies {
-		st, term := cc.stmts(body, cloneCancels(open))
-		if !term {
-			states = append(states, st)
-			allTerm = false
-		}
-	}
-	if !exhaustive {
-		states = append(states, open)
-		allTerm = false
-	}
-	if allTerm {
-		return open, true
-	}
-	if len(states) == 0 {
-		return open, false
-	}
-	merged := states[0]
-	for _, st := range states[1:] {
-		merged = intersectCancels(merged, st)
-	}
-	return merged, false
-}
-
-// handleDefer processes `defer cancel()` (and the wrapped
-// `defer func() { cancel() }()` form).
-func (cc *cancelChecker) handleDefer(d *ast.DeferStmt, open cancelState) {
-	schedule := func(name string) {
-		if o, ok := open[name]; ok {
-			o.viaDefer = true
-			open[name] = o
-		}
-	}
-	if name := cancelCallTarget(d.Call); name != "" {
-		schedule(name)
-		return
-	}
-	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
-		ast.Inspect(lit.Body, func(n ast.Node) bool {
-			if call, ok := n.(*ast.CallExpr); ok {
-				if name := cancelCallTarget(call); name != "" {
-					schedule(name)
-				}
-			}
-			return true
-		})
-		return
-	}
-	// Any other defer the cancel reaches is treated as an escape.
-	dropMentioned(d.Call, open)
-}
-
-// withCancelTarget returns the cancel variable name bound by a
-// `ctx, cancel := context.WithTimeout(...)` (or WithDeadline) assignment,
-// covering both := and = forms, or "".
-func withCancelTarget(as *ast.AssignStmt) string {
+// withCancelAcquire recognizes `ctx, cancel := context.WithTimeout(...)`
+// (or WithDeadline), covering both := and = forms.
+func withCancelAcquire(as *ast.AssignStmt) *acquired {
 	if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
-		return ""
+		return nil
 	}
 	call, ok := as.Rhs[0].(*ast.CallExpr)
 	if !ok {
-		return ""
+		return nil
 	}
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || (sel.Sel.Name != "WithTimeout" && sel.Sel.Name != "WithDeadline") {
-		return ""
+		return nil
 	}
 	if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "context" {
-		return ""
+		return nil
 	}
 	id, ok := as.Lhs[1].(*ast.Ident)
 	if !ok || id.Name == "_" {
-		return ""
+		return nil
 	}
-	return id.Name
+	return &acquired{name: id.Name}
 }
 
-// cancelCallTarget returns the name of a bare `cancel()` call, or "".
-func cancelCallTarget(call *ast.CallExpr) string {
+// cancelCallRelease recognizes a bare `cancel()` call on a tracked name.
+func cancelCallRelease(call *ast.CallExpr, st flowState) []string {
 	id, ok := call.Fun.(*ast.Ident)
 	if !ok || len(call.Args) != 0 {
-		return ""
+		return nil
 	}
-	return id.Name
-}
-
-// scanCancelEscapes drops tracked cancels that flow somewhere the checker
-// cannot follow: call arguments, composite literals, plain value uses. A
-// direct call `cancel()` inside the expression counts as the call.
-func (cc *cancelChecker) scanCancelEscapes(e ast.Expr, open cancelState) {
-	if e == nil || len(open) == 0 {
-		return
+	if _, tracked := st[id.Name]; !tracked {
+		return nil
 	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.CallExpr:
-			if name := cancelCallTarget(x); name != "" {
-				if _, ok := open[name]; ok {
-					delete(open, name)
-					return false
-				}
-			}
-		case *ast.Ident:
-			delete(open, x.Name)
-		case *ast.FuncLit:
-			dropMentioned(x, open)
-			return false
-		}
-		return true
-	})
-}
-
-// dropMentioned unconditionally drops every tracked cancel mentioned
-// anywhere under n (returns, goroutines, captured closures).
-func dropMentioned(n ast.Node, open cancelState) {
-	if n == nil || len(open) == 0 {
-		return
-	}
-	ast.Inspect(n, func(m ast.Node) bool {
-		if id, ok := m.(*ast.Ident); ok {
-			delete(open, id.Name)
-		}
-		return true
-	})
+	return []string{id.Name}
 }

@@ -1,6 +1,6 @@
 // vizlint is a project-specific static analyzer for vizq's concurrent
 // query stack. It is stdlib-only (go/ast + go/parser + go/types) and
-// implements six check families tuned to this codebase's hazards:
+// implements nine check families tuned to this codebase's hazards:
 //
 //	locks     – a method that calls mu.Lock() must release it on every
 //	            return path (prefer defer); double-lock of the same
@@ -20,6 +20,27 @@
 //	            must be called on every return path (prefer defer
 //	            cancel()); cancels that escape are assumed called
 //	            elsewhere.
+//	lockorder – locks acquired in inconsistent orders across the module's
+//	            call graph (a cycle in the lock-order graph is a potential
+//	            deadlock), and locks held across blocking operations
+//	            (channel ops, select without default, Wait, time.Sleep,
+//	            or a call that transitively does one of those).
+//	atomics   – struct fields accessed both through sync/atomic and with
+//	            plain loads/stores: the plain side races with every
+//	            atomic update.
+//	release   – pooled resources must be returned on every path:
+//	            connection.Pool Acquire/Release-or-Discard, single-flight
+//	            leader slots (map registration/delete), and breaker
+//	            half-open probe slots (allow/releaseProbe-or-Record*).
+//
+// The obs, ctxcancel and release families are instantiations of one
+// shared must-release dataflow engine (dataflow.go) running over a
+// per-function CFG (cfg.go); lockorder additionally propagates held-lock
+// sets through a module-wide call graph (callgraph.go, lockorder.go).
+//
+// Flags: -json emits findings as JSON objects, one per line, with path,
+// line, col, check and msg fields; -checks a,b,c restricts output to the
+// named families.
 //
 // A finding can be suppressed with a directive comment on the same line
 // or the line above:
@@ -27,8 +48,8 @@
 //	//vizlint:allow sleep -- simulated wire latency
 //
 // The directive names one or more checks (locks, goroutine, errors,
-// sleep, obs, ctxcancel, or all); text after "--" is an optional
-// justification.
+// sleep, obs, ctxcancel, lockorder, atomics, release, or all); text
+// after "--" is an optional justification.
 package main
 
 import (
@@ -54,11 +75,14 @@ func (f Finding) String() string {
 }
 
 // fileInfo is one parsed non-test source file plus its suppression
-// directives.
+// directives and module-local import bindings.
 type fileInfo struct {
 	Path  string
 	File  *ast.File
 	allow map[int]map[string]bool // line -> check names allowed
+	// imports maps local import names to module-local import paths
+	// (cross-package call resolution).
+	imports map[string]string
 }
 
 // pkgInfo is one directory's package with the indexes the checks share.
@@ -96,7 +120,12 @@ func loadPackage(fset *token.FileSet, dir, modPath string) (*pkgInfo, error) {
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, &fileInfo{Path: path, File: f, allow: buildAllow(fset, f)})
+		files = append(files, &fileInfo{
+			Path:    path,
+			File:    f,
+			allow:   buildAllow(fset, f),
+			imports: moduleImports(f, modPath),
+		})
 		astFiles = append(astFiles, f)
 	}
 	if len(files) == 0 {
@@ -124,9 +153,10 @@ func loadPackage(fset *token.FileSet, dir, modPath string) (*pkgInfo, error) {
 // local functions) resolve, which is all the checks need.
 func (p *pkgInfo) typeCheck(files []*ast.File) {
 	p.Info = &types.Info{
-		Types: make(map[ast.Expr]types.TypeAndValue),
-		Defs:  make(map[*ast.Ident]types.Object),
-		Uses:  make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	conf := types.Config{
 		Error:    func(error) {}, // partial information is expected
@@ -155,6 +185,30 @@ func (s *stubImporter) Import(path string) (*types.Package, error) {
 	pkg.MarkComplete()
 	s.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// moduleImports maps each of a file's local import names to its import
+// path, keeping only imports inside this module.
+func moduleImports(f *ast.File, modPath string) map[string]string {
+	out := make(map[string]string)
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if modPath == "" || (path != modPath && !strings.HasPrefix(path, modPath+"/")) {
+			continue
+		}
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "_" || name == "." {
+			continue
+		}
+		out[name] = path
+	}
+	return out
 }
 
 // buildAllow indexes //vizlint:allow directives. A directive applies to
@@ -332,8 +386,14 @@ func pathHasAny(importPath string, frags ...string) bool {
 	return false
 }
 
-// runChecks applies every check family to the package.
-func runChecks(pkg *pkgInfo) []Finding {
+// checkNames lists every check family, for -checks validation and docs.
+var checkNames = []string{
+	"locks", "goroutine", "errors", "sleep", "obs", "ctxcancel",
+	"lockorder", "atomics", "release",
+}
+
+// runChecks applies every check family to one package of the module.
+func runChecks(mod *module, pkg *pkgInfo) []Finding {
 	var out []Finding
 	for _, fi := range pkg.Files {
 		out = append(out, checkLocks(pkg, fi)...)
@@ -342,6 +402,27 @@ func runChecks(pkg *pkgInfo) []Finding {
 		out = append(out, checkSleep(pkg, fi)...)
 		out = append(out, checkObs(pkg, fi)...)
 		out = append(out, checkCtxCancel(pkg, fi)...)
+		out = append(out, checkRelease(pkg, fi)...)
 	}
+	out = append(out, checkLockOrder(mod, pkg)...)
+	out = append(out, checkAtomics(pkg)...)
 	return out
+}
+
+// fileFor returns the fileInfo containing pos (directive lookups for
+// findings produced by package-level analyses).
+func (p *pkgInfo) fileFor(pos token.Pos) *fileInfo {
+	for _, fi := range p.Files {
+		if fi.File.FileStart <= pos && pos < fi.File.FileEnd {
+			return fi
+		}
+	}
+	return nil
+}
+
+// allowedAtPkg reports whether a directive in whatever file contains pos
+// exempts check there.
+func (p *pkgInfo) allowedAtPkg(pos token.Pos, check string) bool {
+	fi := p.fileFor(pos)
+	return fi != nil && fi.allowedAt(p.Fset, pos, check)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -12,10 +13,13 @@ import (
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON objects, one per line")
+	checksFlag := flag.String("checks", "", "comma-separated check families to run (default: all)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vizlint [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: vizlint [flags] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs project-specific static checks over the given package patterns\n")
-		fmt.Fprintf(os.Stderr, "(default ./...). Exits 1 when findings are reported.\n")
+		fmt.Fprintf(os.Stderr, "(default ./...). Exits 1 when findings are reported.\n\n")
+		fmt.Fprintf(os.Stderr, "Check families: %s\n\n", strings.Join(checkNames, ", "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -24,24 +28,35 @@ func main() {
 		args = []string{"./..."}
 	}
 
+	enabled, err := parseChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vizlint:", err)
+		os.Exit(2)
+	}
+
 	dirs, err := resolveDirs(args)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vizlint:", err)
 		os.Exit(2)
 	}
-	modPath := modulePath(".")
 	fset := token.NewFileSet()
+	mod, err := loadModule(fset, dirs, modulePath("."))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vizlint:", err)
+		os.Exit(2)
+	}
 	var findings []Finding
-	for _, dir := range dirs {
-		pkg, err := loadPackage(fset, dir, modPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vizlint:", err)
-			os.Exit(2)
+	for _, pkg := range mod.pkgs {
+		findings = append(findings, runChecks(mod, pkg)...)
+	}
+	if enabled != nil {
+		kept := findings[:0]
+		for _, f := range findings {
+			if enabled[f.Check] {
+				kept = append(kept, f)
+			}
 		}
-		if pkg == nil {
-			continue
-		}
-		findings = append(findings, runChecks(pkg)...)
+		findings = kept
 	}
 
 	sort.Slice(findings, func(i, j int) bool {
@@ -55,12 +70,60 @@ func main() {
 		return a.Column < b.Column
 	})
 	for _, f := range findings {
-		fmt.Println(f)
+		if *jsonOut {
+			printJSON(f)
+		} else {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "vizlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// parseChecks validates the -checks flag against the known families.
+// Empty means all checks (nil map).
+func parseChecks(s string) (map[string]bool, error) {
+	if s == "" {
+		return nil, nil
+	}
+	known := make(map[string]bool, len(checkNames))
+	for _, name := range checkNames {
+		known[name] = true
+	}
+	enabled := make(map[string]bool)
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown check %q (families: %s)", name, strings.Join(checkNames, ", "))
+		}
+		enabled[name] = true
+	}
+	if len(enabled) == 0 {
+		return nil, fmt.Errorf("-checks: no check names given")
+	}
+	return enabled, nil
+}
+
+// printJSON emits one finding as a single-line JSON object.
+func printJSON(f Finding) {
+	obj := struct {
+		Path  string `json:"path"`
+		Line  int    `json:"line"`
+		Col   int    `json:"col"`
+		Check string `json:"check"`
+		Msg   string `json:"msg"`
+	}{f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Msg}
+	b, err := json.Marshal(obj)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vizlint:", err)
+		os.Exit(2)
+	}
+	fmt.Println(string(b))
 }
 
 // resolveDirs expands package patterns into directories. A trailing /...

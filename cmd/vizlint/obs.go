@@ -3,7 +3,6 @@ package main
 import (
 	"fmt"
 	"go/ast"
-	"go/token"
 )
 
 // checkObs verifies that every span started with obs.StartSpan is finished
@@ -11,321 +10,12 @@ import (
 // trace and, worse, its children are silently re-rooted — the stage
 // breakdown then under-reports exactly the code path that bailed early.
 //
-// Like checkLocks this is a forward walk over the statement tree tracking a
-// must-finish set; branch states merge by intersection so only spans that
-// are definitely still open get reported. A span that escapes the function
-// (passed to a call, returned, reassigned, captured by a goroutine) is
-// assumed finished elsewhere and dropped from tracking.
+// The check is an instantiation of the shared must-release engine
+// (dataflow.go) over the function CFG (cfg.go). A span that escapes the
+// function (passed to a call, returned, reassigned, captured by a
+// goroutine) is assumed finished elsewhere and dropped from tracking.
 func checkObs(pkg *pkgInfo, fi *fileInfo) []Finding {
-	var out []Finding
-	sc := &spanChecker{pkg: pkg, fi: fi, out: &out}
-	for _, decl := range fi.File.Decls {
-		fd, ok := decl.(*ast.FuncDecl)
-		if !ok || fd.Body == nil {
-			continue
-		}
-		sc.runFunc(fd.Body)
-		// Function literals run on their own schedule; analyze each body as
-		// an independent function.
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			if lit, ok := n.(*ast.FuncLit); ok {
-				sc.runFunc(lit.Body)
-			}
-			return true
-		})
-	}
-	return out
-}
-
-type spanChecker struct {
-	pkg *pkgInfo
-	fi  *fileInfo
-	out *[]Finding
-}
-
-// openSpan is one started, unfinished span on the current path.
-type openSpan struct {
-	pos      token.Pos
-	viaDefer bool // Finish is scheduled by defer: open until return, but not leaked
-}
-
-type spanState map[string]openSpan
-
-func cloneSpans(s spanState) spanState {
-	c := make(spanState, len(s))
-	for k, v := range s {
-		c[k] = v
-	}
-	return c
-}
-
-// intersectSpans keeps spans open in both branch states; viaDefer survives
-// only when both branches scheduled the Finish.
-func intersectSpans(a, b spanState) spanState {
-	out := make(spanState)
-	for k, va := range a {
-		if vb, ok := b[k]; ok {
-			va.viaDefer = va.viaDefer && vb.viaDefer
-			out[k] = va
-		}
-	}
-	return out
-}
-
-func (sc *spanChecker) runFunc(body *ast.BlockStmt) {
-	open, terminated := sc.stmts(body.List, spanState{})
-	if !terminated {
-		for key, o := range open {
-			if !o.viaDefer {
-				sc.report(o.pos, "span %s is never finished on the fall-through path (missing %s.Finish(); prefer defer)", key, key)
-			}
-		}
-	}
-}
-
-func (sc *spanChecker) report(pos token.Pos, format string, args ...any) {
-	if sc.fi.allowedAt(sc.pkg.Fset, pos, "obs") {
-		return
-	}
-	*sc.out = append(*sc.out, Finding{
-		Pos:   sc.pkg.Fset.Position(pos),
-		Check: "obs",
-		Msg:   fmt.Sprintf(format, args...),
-	})
-}
-
-func (sc *spanChecker) stmts(list []ast.Stmt, open spanState) (spanState, bool) {
-	for _, s := range list {
-		var terminated bool
-		open, terminated = sc.stmt(s, open)
-		if terminated {
-			return open, true
-		}
-	}
-	return open, false
-}
-
-func (sc *spanChecker) stmt(s ast.Stmt, open spanState) (spanState, bool) {
-	switch x := s.(type) {
-	case *ast.ExprStmt:
-		if call, ok := x.X.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				return open, true
-			}
-			if name := finishTarget(call); name != "" {
-				delete(open, name)
-				return open, false
-			}
-		}
-		sc.scanEscapes(x.X, open)
-		return open, false
-
-	case *ast.AssignStmt:
-		for _, rhs := range x.Rhs {
-			sc.scanEscapes(rhs, open)
-		}
-		if name := startSpanTarget(x); name != "" {
-			// Rebinding the name orphans the previous span: nothing can
-			// finish it anymore, so report it right here.
-			if old, ok := open[name]; ok && !old.viaDefer {
-				sc.report(old.pos, "span %s restarted before being finished", name)
-			}
-			open[name] = openSpan{pos: x.Pos()}
-		}
-		return open, false
-
-	case *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt, *ast.EmptyStmt:
-		return open, false
-
-	case *ast.DeferStmt:
-		sc.handleDefer(x, open)
-		return open, false
-
-	case *ast.GoStmt:
-		// A goroutine capturing the span may finish it on its own schedule.
-		escapeIdents(x.Call, open)
-		return open, false
-
-	case *ast.ReturnStmt:
-		for _, r := range x.Results {
-			escapeIdents(r, open)
-		}
-		for key, o := range open {
-			if !o.viaDefer {
-				sc.report(o.pos, "return path leaves span %s unfinished (missing %s.Finish(); prefer defer)", key, key)
-			}
-		}
-		return open, true
-
-	case *ast.BranchStmt:
-		return open, true // leaves this path; loop merge handles the rest
-
-	case *ast.BlockStmt:
-		return sc.stmts(x.List, open)
-
-	case *ast.LabeledStmt:
-		return sc.stmt(x.Stmt, open)
-
-	case *ast.IfStmt:
-		if x.Init != nil {
-			open, _ = sc.stmt(x.Init, open)
-		}
-		sc.scanEscapes(x.Cond, open)
-		thenOpen, thenTerm := sc.stmts(x.Body.List, cloneSpans(open))
-		elseOpen, elseTerm := cloneSpans(open), false
-		switch e := x.Else.(type) {
-		case *ast.BlockStmt:
-			elseOpen, elseTerm = sc.stmts(e.List, elseOpen)
-		case *ast.IfStmt:
-			elseOpen, elseTerm = sc.stmt(e, elseOpen)
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return open, true
-		case thenTerm:
-			return elseOpen, false
-		case elseTerm:
-			return thenOpen, false
-		default:
-			return intersectSpans(thenOpen, elseOpen), false
-		}
-
-	case *ast.ForStmt:
-		if x.Init != nil {
-			open, _ = sc.stmt(x.Init, open)
-		}
-		if x.Cond != nil {
-			sc.scanEscapes(x.Cond, open)
-		}
-		bodyOpen, bodyTerm := sc.stmts(x.Body.List, cloneSpans(open))
-		if bodyTerm {
-			return open, false // loop may run zero times
-		}
-		return intersectSpans(open, bodyOpen), false
-
-	case *ast.RangeStmt:
-		sc.scanEscapes(x.X, open)
-		bodyOpen, bodyTerm := sc.stmts(x.Body.List, cloneSpans(open))
-		if bodyTerm {
-			return open, false
-		}
-		return intersectSpans(open, bodyOpen), false
-
-	case *ast.SwitchStmt:
-		if x.Init != nil {
-			open, _ = sc.stmt(x.Init, open)
-		}
-		if x.Tag != nil {
-			sc.scanEscapes(x.Tag, open)
-		}
-		return sc.clauses(caseBodies(x.Body), hasDefaultCase(x.Body), open)
-
-	case *ast.TypeSwitchStmt:
-		return sc.clauses(caseBodies(x.Body), hasDefaultCase(x.Body), open)
-
-	case *ast.SelectStmt:
-		var bodies [][]ast.Stmt
-		for _, c := range x.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				bodies = append(bodies, cc.Body)
-			}
-		}
-		return sc.clauses(bodies, true, open)
-	}
-	return open, false
-}
-
-// clauses merges switch/select case-body states, mirroring lockChecker.
-func (sc *spanChecker) clauses(bodies [][]ast.Stmt, exhaustive bool, open spanState) (spanState, bool) {
-	var states []spanState
-	allTerm := len(bodies) > 0
-	for _, body := range bodies {
-		st, term := sc.stmts(body, cloneSpans(open))
-		if !term {
-			states = append(states, st)
-			allTerm = false
-		}
-	}
-	if !exhaustive {
-		states = append(states, open)
-		allTerm = false
-	}
-	if allTerm {
-		return open, true
-	}
-	if len(states) == 0 {
-		return open, false
-	}
-	merged := states[0]
-	for _, st := range states[1:] {
-		merged = intersectSpans(merged, st)
-	}
-	return merged, false
-}
-
-// handleDefer processes `defer sp.Finish()` (and the wrapped
-// `defer func() { sp.Finish() }()` form).
-func (sc *spanChecker) handleDefer(d *ast.DeferStmt, open spanState) {
-	schedule := func(name string) {
-		if o, ok := open[name]; ok {
-			o.viaDefer = true
-			open[name] = o
-		}
-	}
-	if name := finishTarget(d.Call); name != "" {
-		schedule(name)
-		return
-	}
-	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
-		ast.Inspect(lit.Body, func(n ast.Node) bool {
-			if call, ok := n.(*ast.CallExpr); ok {
-				if name := finishTarget(call); name != "" {
-					schedule(name)
-				}
-			}
-			return true
-		})
-		return
-	}
-	// Any other defer the span reaches is treated as an escape.
-	escapeIdents(d.Call, open)
-}
-
-// startSpanTarget returns the span variable name bound by an
-// `ctx, sp := obs.StartSpan(...)` assignment, or "".
-func startSpanTarget(as *ast.AssignStmt) string {
-	if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
-		return ""
-	}
-	call, ok := as.Rhs[0].(*ast.CallExpr)
-	if !ok {
-		return ""
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "StartSpan" {
-		return ""
-	}
-	if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "obs" {
-		return ""
-	}
-	id, ok := as.Lhs[1].(*ast.Ident)
-	if !ok || id.Name == "_" {
-		return ""
-	}
-	return id.Name
-}
-
-// finishTarget returns the receiver name of a `sp.Finish()` call, or "".
-func finishTarget(call *ast.CallExpr) string {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Finish" || len(call.Args) != 0 {
-		return ""
-	}
-	id, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return ""
-	}
-	return id.Name
+	return runReleaseCheck(pkg, fi, obsSpec)
 }
 
 // spanMethods are *obs.Span methods whose receiver use is not an escape.
@@ -334,41 +24,54 @@ var spanMethods = map[string]bool{
 	"Duration": true, "Children": true, "Attrs": true, "Name": true,
 }
 
-// scanEscapes drops tracked spans that flow somewhere the checker cannot
-// follow: call arguments, composite literals, plain value uses. Method
-// calls ON the span (sp.Annotate(...)) are fine.
-func (sc *spanChecker) scanEscapes(e ast.Expr, open spanState) {
-	if e == nil || len(open) == 0 {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.SelectorExpr:
-			if _, ok := x.X.(*ast.Ident); ok && spanMethods[x.Sel.Name] {
-				return false // sp.Method — receiver use, not an escape
-			}
-		case *ast.Ident:
-			if _, ok := open[x.Name]; ok {
-				delete(open, x.Name)
-			}
-		case *ast.FuncLit:
-			escapeIdents(x, open)
-			return false
-		}
-		return true
-	})
+var obsSpec = &resourceSpec{
+	check:      "obs",
+	acquire:    startSpanAcquire,
+	release:    finishRelease,
+	ownMethods: spanMethods,
+	leakReturn: func(name string) string {
+		return fmt.Sprintf("return path leaves span %s unfinished (missing %s.Finish(); prefer defer)", name, name)
+	},
+	leakExit: func(name string) string {
+		return fmt.Sprintf("span %s is never finished on the fall-through path (missing %s.Finish(); prefer defer)", name, name)
+	},
+	reboundMsg: func(name string) string {
+		return fmt.Sprintf("span %s restarted before being finished", name)
+	},
 }
 
-// escapeIdents unconditionally drops every tracked span mentioned anywhere
-// under n (returns, goroutines, captured closures).
-func escapeIdents(n ast.Node, open spanState) {
-	if n == nil || len(open) == 0 {
-		return
+// startSpanAcquire recognizes `ctx, sp := obs.StartSpan(...)`.
+func startSpanAcquire(as *ast.AssignStmt) *acquired {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return nil
 	}
-	ast.Inspect(n, func(m ast.Node) bool {
-		if id, ok := m.(*ast.Ident); ok {
-			delete(open, id.Name)
-		}
-		return true
-	})
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "StartSpan" {
+		return nil
+	}
+	if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "obs" {
+		return nil
+	}
+	id, ok := as.Lhs[1].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return &acquired{name: id.Name}
+}
+
+// finishRelease recognizes `sp.Finish()`.
+func finishRelease(call *ast.CallExpr, _ flowState) []string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Finish" || len(call.Args) != 0 {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return []string{id.Name}
 }

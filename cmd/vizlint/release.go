@@ -1,0 +1,242 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// checkRelease instantiates the must-release engine (dataflow.go) for the
+// pooled resources this codebase leaks in practice:
+//
+//   - connection.Pool: every Acquire must be paired with Release or
+//     Discard on every path (or handed to someone who will);
+//   - single-flight leader slots: a call registered in the calls map must
+//     be deleted before the leader returns, or every later caller for
+//     that key blocks on a done channel that never closes;
+//   - breaker probe slots: allow() admitting a half-open probe must be
+//     balanced by releaseProbe, RecordSuccess or RecordFailure — the
+//     PR 4 probe-leak class, promoted from a one-off fix to a check.
+//
+// It also flags discarding the probe result of allow() outright
+// (`ok, _ := b.allow()`): a caller that cannot see it held a probe slot
+// cannot release it.
+func checkRelease(pkg *pkgInfo, fi *fileInfo) []Finding {
+	var out []Finding
+	out = append(out, runReleaseCheck(pkg, fi, poolSpec)...)
+	out = append(out, runReleaseCheck(pkg, fi, flightSpec)...)
+	out = append(out, runReleaseCheck(pkg, fi, probeSpec)...)
+	out = append(out, checkProbeDiscard(pkg, fi)...)
+	return out
+}
+
+// --- pooled connections -------------------------------------------------
+
+var poolSpec = &resourceSpec{
+	check:   "release",
+	acquire: poolAcquire,
+	release: poolRelease,
+	// Connections are used by calling methods on them; none of those is an
+	// escape.
+	anyMethodOk: true,
+	leakReturn: func(name string) string {
+		return fmt.Sprintf("return path leaks pooled connection %s (missing Release/Discard)", name)
+	},
+	leakExit: func(name string) string {
+		return fmt.Sprintf("pooled connection %s is never returned on the fall-through path (missing Release/Discard)", name)
+	},
+	reboundMsg: func(name string) string {
+		return fmt.Sprintf("connection %s re-acquired before being released", name)
+	},
+}
+
+// poolAcquire recognizes `c, err := x.Acquire(ctx)`. The paired error name
+// exempts the acquisition's own error-return path.
+func poolAcquire(as *ast.AssignStmt) *acquired {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Acquire" {
+		return nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	acq := &acquired{name: id.Name}
+	if errID, ok := as.Lhs[1].(*ast.Ident); ok && errID.Name != "_" {
+		acq.errName = errID.Name
+	}
+	return acq
+}
+
+// poolRelease recognizes `x.Release(c)` and `x.Discard(c)` for a tracked c.
+func poolRelease(call *ast.CallExpr, st flowState) []string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Release" && sel.Sel.Name != "Discard") || len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if _, tracked := st[id.Name]; !tracked {
+		return nil
+	}
+	return []string{id.Name}
+}
+
+// --- single-flight leader slots -----------------------------------------
+
+var flightSpec = &resourceSpec{
+	check:   "release",
+	acquire: flightAcquire,
+	release: flightRelease,
+	leakReturn: func(name string) string {
+		return fmt.Sprintf("return path leaves single-flight slot %s registered (missing delete; followers block forever)", name)
+	},
+	leakExit: func(name string) string {
+		return fmt.Sprintf("single-flight slot %s is never deleted on the fall-through path (followers block forever)", name)
+	},
+}
+
+// flightAcquire recognizes `x.calls[key] = c`: registering a leader in a
+// single-flight map. The tracked token is the map expression itself
+// ("f.calls"), so the matching release is `delete(f.calls, key)`.
+func flightAcquire(as *ast.AssignStmt) *acquired {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	idx, ok := as.Lhs[0].(*ast.IndexExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := idx.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "calls" {
+		return nil
+	}
+	key := exprKey(sel)
+	if key == "" {
+		return nil
+	}
+	return &acquired{name: key}
+}
+
+// flightRelease recognizes `delete(x.calls, key)` on a tracked map.
+func flightRelease(call *ast.CallExpr, st flowState) []string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "delete" || len(call.Args) != 2 {
+		return nil
+	}
+	sel, ok := call.Args[0].(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	key := exprKey(sel)
+	if key == "" {
+		return nil
+	}
+	if _, tracked := st[key]; !tracked {
+		return nil
+	}
+	return []string{key}
+}
+
+// --- breaker probe slots ------------------------------------------------
+
+var probeSpec = &resourceSpec{
+	check:   "release",
+	acquire: probeAcquire,
+	release: probeRelease,
+	leakReturn: func(name string) string {
+		return fmt.Sprintf("return path leaks half-open probe slot %s (missing releaseProbe/RecordSuccess/RecordFailure)", name)
+	},
+	leakExit: func(name string) string {
+		return fmt.Sprintf("half-open probe slot %s is never released on the fall-through path (missing releaseProbe/RecordSuccess/RecordFailure)", name)
+	},
+}
+
+// probeAcquire recognizes `ok, probe := x.allow()`. The probe token is
+// boolean: branches where it (or the paired ok) is provably false did not
+// admit a probe slot, so the token dies on those edges.
+func probeAcquire(as *ast.AssignStmt) *acquired {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "allow" || len(call.Args) != 0 {
+		return nil
+	}
+	probeID, ok := as.Lhs[1].(*ast.Ident)
+	if !ok || probeID.Name == "_" {
+		return nil // discarded probe result is checkProbeDiscard's finding
+	}
+	acq := &acquired{name: probeID.Name, guardSelf: true}
+	if okID, ok := as.Lhs[0].(*ast.Ident); ok && okID.Name != "_" {
+		acq.guard = okID.Name
+	}
+	return acq
+}
+
+// probeRelease recognizes the breaker outcome calls. Each one settles the
+// probe slot regardless of which token held it, so they release every
+// live token (release-all semantics).
+func probeRelease(call *ast.CallExpr, st flowState) []string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil
+	}
+	switch sel.Sel.Name {
+	case "releaseProbe", "RecordSuccess", "RecordFailure":
+	default:
+		return nil
+	}
+	var names []string
+	for name := range st {
+		names = append(names, name)
+	}
+	return names
+}
+
+// checkProbeDiscard flags `ok, _ := x.allow()`: the probe result is the
+// only evidence a half-open slot was admitted, so discarding it makes the
+// slot unreleasable from this call site.
+func checkProbeDiscard(pkg *pkgInfo, fi *fileInfo) []Finding {
+	var out []Finding
+	ast.Inspect(fi.File, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "allow" || len(call.Args) != 0 {
+			return true
+		}
+		id, ok := as.Lhs[1].(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return true
+		}
+		if fi.allowedAt(pkg.Fset, as.Pos(), "release") {
+			return true
+		}
+		out = append(out, Finding{
+			Pos:   pkg.Fset.Position(as.Pos()),
+			Check: "release",
+			Msg:   "probe result of allow() discarded; a half-open probe slot cannot be released by this caller",
+		})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,29 @@
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type goodStats struct {
+	hits  int64
+	plain int64
+	mu    sync.Mutex
+}
+
+// Hit and Hits access hits exclusively through sync/atomic.
+func (s *goodStats) Hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *goodStats) Hits() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// Bump guards plain with the mutex; no atomic ever touches it, so mixing
+// is impossible.
+func (s *goodStats) Bump() {
+	s.mu.Lock()
+	s.plain++
+	s.mu.Unlock()
+}

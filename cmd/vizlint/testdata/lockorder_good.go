@@ -1,0 +1,43 @@
+package fixture
+
+import "sync"
+
+type goodA struct{ mu sync.Mutex }
+
+type goodB struct{ mu sync.Mutex }
+
+// ConsistentOne and ConsistentTwo both take goodA.mu before goodB.mu:
+// edges in one direction only, no cycle.
+func ConsistentOne(a *goodA, b *goodB) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// ConsistentTwo releases both locks before touching the channel.
+func ConsistentTwo(a *goodA, b *goodB, ch chan int) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+	ch <- 1
+}
+
+// NonBlockingSend holds the lock across a select with a default clause,
+// which cannot block.
+func NonBlockingSend(a *goodA, ch chan int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// UnlockedBeforeReceive waits only after releasing the lock.
+func UnlockedBeforeReceive(a *goodA, ch chan int) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	<-ch
+}

@@ -1,0 +1,90 @@
+package fixture
+
+import (
+	"context"
+	"errors"
+)
+
+var errFixture = errors.New("fixture")
+
+type rconn struct{}
+
+func (c *rconn) ping() {}
+
+type rpool struct{}
+
+func (p *rpool) Acquire(ctx context.Context) (*rconn, error) { return nil, nil }
+func (p *rpool) Release(c *rconn)                            {}
+func (p *rpool) Discard(c *rconn)                            {}
+
+// LeakOnEarlyReturn releases the connection on the happy path only; the
+// bail-out leaks it. The Acquire error return itself is exempt — the
+// connection was never produced there. (1 finding)
+func LeakOnEarlyReturn(ctx context.Context, p *rpool, fail bool) error {
+	c, err := p.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errFixture
+	}
+	p.Release(c)
+	return nil
+}
+
+// LeakOnFallThrough uses the connection but never returns it to the pool.
+// (1 finding)
+func LeakOnFallThrough(ctx context.Context, p *rpool) {
+	c, _ := p.Acquire(ctx)
+	c.ping()
+}
+
+type fcall struct{ done chan struct{} }
+
+type flightFixture struct {
+	calls map[string]*fcall
+}
+
+// LeaderForgetsDelete registers a single-flight leader slot and returns
+// without deleting it on the error path: every follower for that key
+// blocks on a done channel that never closes. (1 finding)
+func (f *flightFixture) LeaderForgetsDelete(key string, fail bool) error {
+	c := &fcall{done: make(chan struct{})}
+	f.calls[key] = c
+	if fail {
+		return errFixture
+	}
+	delete(f.calls, key)
+	close(c.done)
+	return nil
+}
+
+type probeBreaker struct{}
+
+func (b *probeBreaker) allow() (ok, probe bool) { return true, true }
+func (b *probeBreaker) releaseProbe()           {}
+func (b *probeBreaker) RecordSuccess()          {}
+
+// ProbeLeakOnEarlyReturn admits a half-open probe and bails without
+// settling it: the breaker wedges in half-open. The !allowed return is
+// exempt — no slot was admitted on that branch. (1 finding)
+func (b *probeBreaker) ProbeLeakOnEarlyReturn(fail bool) error {
+	allowed, probe := b.allow()
+	if !allowed {
+		return errFixture
+	}
+	if fail {
+		return errFixture
+	}
+	if probe {
+		b.releaseProbe()
+	}
+	return nil
+}
+
+// DiscardedProbe drops the probe flag outright, so no caller can ever
+// release the slot. (1 finding)
+func (b *probeBreaker) DiscardedProbe() bool {
+	ok, _ := b.allow()
+	return ok
+}

@@ -1,0 +1,83 @@
+package fixture
+
+import (
+	"context"
+	"errors"
+)
+
+var errGoodFixture = errors.New("fixture")
+
+type gconn struct{}
+
+func (c *gconn) ping() {}
+
+type gpool struct{}
+
+func (p *gpool) Acquire(ctx context.Context) (*gconn, error) { return nil, nil }
+func (p *gpool) Release(c *gconn)                            {}
+func (p *gpool) Discard(c *gconn)                            {}
+
+// ReleasedOnEveryPath pairs Acquire with Release or Discard on every
+// path that holds a connection.
+func ReleasedOnEveryPath(ctx context.Context, p *gpool, broken bool) error {
+	c, err := p.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	if broken {
+		p.Discard(c)
+		return errGoodFixture
+	}
+	p.Release(c)
+	return nil
+}
+
+// HandedToCallback escapes the connection into fn, which owns it from
+// then on.
+func HandedToCallback(ctx context.Context, p *gpool, fn func(*gconn)) error {
+	c, err := p.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	fn(c)
+	return nil
+}
+
+type gcall struct{ done chan struct{} }
+
+type gflight struct {
+	calls map[string]*gcall
+}
+
+// LeaderDeletesSlot mirrors the single-flight leader protocol: register,
+// work, delete, then wake the followers.
+func (f *gflight) LeaderDeletesSlot(key string) {
+	c := &gcall{done: make(chan struct{})}
+	f.calls[key] = c
+	defer close(c.done)
+	delete(f.calls, key)
+}
+
+type gbreaker struct{}
+
+func (b *gbreaker) allow() (ok, probe bool) { return true, false }
+func (b *gbreaker) releaseProbe()           {}
+func (b *gbreaker) RecordFailure()          {}
+
+// ProbeSettled releases the probe slot on every outcome: RecordFailure on
+// error, releaseProbe when no outcome is recorded, and the !allowed and
+// !probe branches never held a slot.
+func (b *gbreaker) ProbeSettled(attempt func() error) error {
+	allowed, probe := b.allow()
+	if !allowed {
+		return errGoodFixture
+	}
+	if err := attempt(); err != nil {
+		b.RecordFailure()
+		return err
+	}
+	if probe {
+		b.releaseProbe()
+	}
+	return nil
+}

@@ -20,11 +20,12 @@ func lintFixture(t *testing.T, name, importPath string) []Finding {
 	if err != nil {
 		t.Fatalf("parse %s: %v", path, err)
 	}
-	fi := &fileInfo{Path: path, File: f, allow: buildAllow(fset, f)}
+	fi := &fileInfo{Path: path, File: f, allow: buildAllow(fset, f), imports: moduleImports(f, "vizq")}
 	pkg := &pkgInfo{ImportPath: importPath, Fset: fset, Files: []*fileInfo{fi}}
 	pkg.typeCheck([]*ast.File{f})
 	pkg.buildIndexes()
-	return runChecks(pkg)
+	mod := moduleFor(fset, "vizq", pkg)
+	return runChecks(mod, pkg)
 }
 
 func countCheck(findings []Finding, check string) int {
@@ -170,6 +171,59 @@ func TestCtxCancelSilentOnGoodCode(t *testing.T) {
 	}
 }
 
+func TestLockOrderFiresOnBadCode(t *testing.T) {
+	findings := lintFixture(t, "lockorder_bad.go", "vizq/internal/fixture")
+	// The LockAB/LockBA cycle, SendWhileLocked's send, and WaitViaCall's
+	// blocking callee.
+	if got := countCheck(findings, "lockorder"); got != 3 {
+		dump(t, findings)
+		t.Errorf("lockorder findings = %d, want 3", got)
+	}
+}
+
+func TestLockOrderSilentOnGoodCode(t *testing.T) {
+	findings := lintFixture(t, "lockorder_good.go", "vizq/internal/fixture")
+	if len(findings) != 0 {
+		dump(t, findings)
+		t.Errorf("findings = %d, want 0", len(findings))
+	}
+}
+
+func TestAtomicsFiresOnBadCode(t *testing.T) {
+	findings := lintFixture(t, "atomics_bad.go", "vizq/internal/fixture")
+	// PlainRead's load and PlainWrite's store of the atomic hits field.
+	if got := countCheck(findings, "atomics"); got != 2 {
+		dump(t, findings)
+		t.Errorf("atomics findings = %d, want 2", got)
+	}
+}
+
+func TestAtomicsSilentOnGoodCode(t *testing.T) {
+	findings := lintFixture(t, "atomics_good.go", "vizq/internal/fixture")
+	if len(findings) != 0 {
+		dump(t, findings)
+		t.Errorf("findings = %d, want 0", len(findings))
+	}
+}
+
+func TestReleaseFiresOnBadCode(t *testing.T) {
+	findings := lintFixture(t, "release_bad.go", "vizq/internal/fixture")
+	// LeakOnEarlyReturn, LeakOnFallThrough, LeaderForgetsDelete,
+	// ProbeLeakOnEarlyReturn, and DiscardedProbe.
+	if got := countCheck(findings, "release"); got != 5 {
+		dump(t, findings)
+		t.Errorf("release findings = %d, want 5", got)
+	}
+}
+
+func TestReleaseSilentOnGoodCode(t *testing.T) {
+	findings := lintFixture(t, "release_good.go", "vizq/internal/fixture")
+	if len(findings) != 0 {
+		dump(t, findings)
+		t.Errorf("findings = %d, want 0", len(findings))
+	}
+}
+
 // TestRepoIsClean runs the full analysis over the repository and demands
 // zero findings — the same gate scripts/check.sh enforces.
 func TestRepoIsClean(t *testing.T) {
@@ -190,17 +244,13 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	modPath := modulePath(".")
 	fset := token.NewFileSet()
-	for _, dir := range dirs {
-		pkg, err := loadPackage(fset, dir, modPath)
-		if err != nil {
-			t.Fatalf("load %s: %v", dir, err)
-		}
-		if pkg == nil {
-			continue
-		}
-		for _, f := range runChecks(pkg) {
+	mod, err := loadModule(fset, dirs, modulePath("."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range mod.pkgs {
+		for _, f := range runChecks(mod, pkg) {
 			t.Errorf("unexpected finding: %s", f)
 		}
 	}

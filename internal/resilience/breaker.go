@@ -100,6 +100,10 @@ func (b *Breaker) setClock(fn func() time.Time) {
 // the cooldown elapses, then transition to half-open and admit up to
 // maxProbes concurrent probes.
 func (b *Breaker) Allow() bool {
+	// Allow's contract obliges the caller to call RecordSuccess or
+	// RecordFailure for every admitted request, and either outcome releases
+	// the probe slot; only this exported wrapper may drop the probe flag.
+	//vizlint:allow release -- Record* by the caller releases the slot
 	ok, _ := b.allow()
 	return ok
 }

@@ -17,6 +17,9 @@ go vet ./...
 echo "== vizlint ./..."
 go run ./cmd/vizlint ./...
 
+echo "== vizlint ./cmd/... (self-lint)"
+go run ./cmd/vizlint ./cmd/...
+
 if [[ "${SKIP_RACE:-0}" != "1" ]]; then
     echo "== go test -race ./..."
     go test -race ./...

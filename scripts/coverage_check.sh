@@ -33,5 +33,6 @@ check ./internal/remote     77.8
 check ./internal/connection 83.9
 check ./internal/cache      90.6
 check ./internal/resilience 91.2
+check ./cmd/vizlint         85.8
 
 exit "$fail"
