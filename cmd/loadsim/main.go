@@ -10,6 +10,7 @@
 //	loadsim [-users 20] [-interactions 3] [-latency 5ms] [-rows 100000]
 //	        [-trace] [-metrics text|json]
 //	        [-outage start:dur] [-resilient] [-timeout 2s]
+//	        [-arrival 0] [-think 0] [-sched]
 //
 // With -outage, the backend is reached through a chaos proxy that goes
 // dark (black-holed connections, active relays cut) at `start` into each
@@ -17,10 +18,18 @@
 // are counted instead of aborting the simulation. Add -resilient to run
 // the pipeline with retry, circuit breaking and stale-on-error enabled
 // and compare the two error counts.
+//
+// By default users run closed-loop: each session starts after the previous
+// one finishes, so offered load can never exceed capacity. With -arrival N
+// sessions start open-loop at N sessions/second regardless of how the
+// system is keeping up — the regime where overload actually happens —
+// pausing -think between interactions. Add -sched to put the admission
+// controller in front of the pool and report its counters.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +37,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"vizq/internal/cache"
@@ -37,6 +47,7 @@ import (
 	"vizq/internal/obs"
 	"vizq/internal/remote"
 	"vizq/internal/resilience"
+	"vizq/internal/sched"
 	"vizq/internal/tde/engine"
 	"vizq/internal/vizql"
 	"vizq/internal/workload"
@@ -52,7 +63,10 @@ func main() {
 	metrics := flag.String("metrics", "", "dump process metrics after the run: text or json")
 	outageSpec := flag.String("outage", "", "backend outage window as start:dur (e.g. 2s:1s), relative to each mode's run")
 	resilient := flag.Bool("resilient", false, "enable the resilience layer: retry, circuit breaker, stale-on-error")
-	timeout := flag.Duration("timeout", 2*time.Second, "per-render client timeout (applied when -outage is set)")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-render client timeout (applied when -outage or -arrival is set)")
+	arrival := flag.Float64("arrival", 0, "open-loop session arrival rate in sessions/sec (0 = closed-loop)")
+	think := flag.Duration("think", 0, "user think time between interactions")
+	schedOn := flag.Bool("sched", false, "enable admission control (priority classes, bounded queues, load shedding)")
 	flag.Parse()
 	if *metrics != "" && *metrics != "text" && *metrics != "json" {
 		log.Fatalf("loadsim: -metrics must be text or json, got %q", *metrics)
@@ -102,6 +116,11 @@ func main() {
 			mode = "caching ON "
 			opt = core.DefaultOptions()
 		}
+		var sc *sched.Scheduler
+		if *schedOn {
+			sc = sched.New(sched.Config{Limit: 8})
+			opt.Scheduler = sc
+		}
 		if *resilient {
 			opt.Resilience = &resilience.Config{
 				MaxAttempts:       3,
@@ -130,35 +149,60 @@ func main() {
 				}),
 				time.AfterFunc(outageStart+outageDur, proxy.Heal))
 		}
-		renderCtx := func() (context.Context, context.CancelFunc) {
-			if proxy == nil {
-				return context.Background(), func() {}
+		renderCtx := func(user int) (context.Context, context.CancelFunc) {
+			ctx := context.Background()
+			if sc != nil {
+				// Dashboard renders are interactive traffic; the session key
+				// gives the scheduler's fair queue a per-user identity.
+				ctx = sched.WithClass(ctx, sched.Interactive)
+				ctx = sched.WithSession(ctx, fmt.Sprintf("user-%d", user))
 			}
-			return context.WithTimeout(context.Background(), *timeout)
+			if proxy == nil && *arrival == 0 {
+				return ctx, func() {}
+			}
+			// Under an outage or open-loop overload, renders must be able to
+			// lose: an unbounded wait would wedge the whole simulation.
+			return context.WithTimeout(ctx, *timeout)
 		}
-		var renderErrors int
-
-		rng := rand.New(rand.NewSource(*seed))
+		var mu sync.Mutex
+		var renderErrors, shedCount int
 		var loadTimes, interactTimes []time.Duration
-		start := time.Now()
-		for u := 0; u < *users; u++ {
+
+		// runUser plays one session: initial load, then interactions. All
+		// outcome recording is mutex-guarded so open-loop mode can run many
+		// users concurrently.
+		runUser := func(u int, rng *rand.Rand) {
 			sess, err := vizql.NewSession(vizql.FlightsDashboard("flights"), proc)
 			if err != nil {
 				log.Fatal(err)
 			}
+			record := func(err error, d time.Duration, times *[]time.Duration) bool {
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case err == nil:
+					*times = append(*times, d)
+					return true
+				case errors.Is(err, sched.ErrShed):
+					shedCount++
+				default:
+					// During an outage window a failed render is an expected,
+					// countable outcome, not a reason to abort the simulation.
+					renderErrors++
+				}
+				return false
+			}
 			t0 := time.Now()
-			ctx, cancel := renderCtx()
+			ctx, cancel := renderCtx(u)
 			_, err = sess.Render(ctx)
 			cancel()
-			if err != nil {
-				// During an outage window a failed render is an expected,
-				// countable outcome, not a reason to abort the simulation.
-				renderErrors++
-				continue
+			if !record(err, time.Since(t0), &loadTimes) {
+				return
 			}
-			loadTimes = append(loadTimes, time.Since(t0))
-
 			for i := 0; i < *interactions; i++ {
+				if *think > 0 {
+					time.Sleep(*think) //vizlint:allow sleep -- user think time is part of the simulated workload
+				}
 				markets := sess.Result("Market")
 				if markets == nil || markets.N == 0 {
 					break
@@ -173,14 +217,33 @@ func main() {
 					log.Fatal(err)
 				}
 				t0 = time.Now()
-				ctx, cancel := renderCtx()
+				ctx, cancel := renderCtx(u)
 				_, err := sess.Render(ctx)
 				cancel()
-				if err != nil {
-					renderErrors++
-					continue
-				}
-				interactTimes = append(interactTimes, time.Since(t0))
+				record(err, time.Since(t0), &interactTimes)
+			}
+		}
+
+		start := time.Now()
+		if *arrival > 0 {
+			// Open loop: sessions start on the arrival clock whether or not
+			// the system is keeping up — offered load is the independent
+			// variable, exactly what admission control exists to survive.
+			interval := time.Duration(float64(time.Second) / *arrival)
+			var wg sync.WaitGroup
+			for u := 0; u < *users; u++ {
+				wg.Add(1)
+				go func(u int) {
+					defer wg.Done()
+					runUser(u, rand.New(rand.NewSource(*seed+int64(u))))
+				}(u)
+				time.Sleep(interval) //vizlint:allow sleep -- open-loop arrival pacing is the workload under test
+			}
+			wg.Wait()
+		} else {
+			rng := rand.New(rand.NewSource(*seed))
+			for u := 0; u < *users; u++ {
+				runUser(u, rng)
 			}
 		}
 		for _, tm := range outageTimers {
@@ -192,7 +255,11 @@ func main() {
 		wall := time.Since(start)
 		backend := srv.Stats().Queries - backendBefore
 		st := proc.Stats()
-		fmt.Printf("%s  users=%d interactions=%d\n", mode, *users, *interactions)
+		fmt.Printf("%s  users=%d interactions=%d", mode, *users, *interactions)
+		if *arrival > 0 {
+			fmt.Printf(" arrival=%.1f/s think=%v", *arrival, *think)
+		}
+		fmt.Println()
 		fmt.Printf("  initial load  p50=%v p95=%v\n", pct(loadTimes, 50), pct(loadTimes, 95))
 		fmt.Printf("  interaction   p50=%v p95=%v\n", pct(interactTimes, 50), pct(interactTimes, 95))
 		fmt.Printf("  wall=%v backendQueries=%d cacheHits=%d localAnswers=%d fused=%d\n",
@@ -201,13 +268,19 @@ func main() {
 		fmt.Printf("  cache shards  intelligent=%d literal=%d  evictions=%d/%d\n",
 			intel.Shards(), lit.Shards(), ist.Evictions, lst.Evictions)
 		fmt.Printf("  singleflight  leader=%d shared=%d\n", st.FlightLeader, st.FlightShared)
-		if proxy != nil || *resilient {
+		if proxy != nil || *resilient || *arrival > 0 {
 			line := fmt.Sprintf("  resilience    renderErrors=%d staleServed=%d", renderErrors, st.StaleServed)
 			if rs := proc.Resilience(); rs != nil {
 				bst := rs.Breaker().Stats()
 				line += fmt.Sprintf(" breakerOpened=%d fastFails=%d", bst.Opened, bst.FastFails)
 			}
 			fmt.Println(line)
+		}
+		if sc != nil {
+			sst := sc.Stats()
+			fmt.Printf("  scheduler     admitted=%d/%d (interactive/background) shed=%d (%d deadline, %d queue-full) limit=%d shedRenders=%d\n",
+				sst.AdmittedInteractive, sst.AdmittedBackground,
+				sst.Shed, sst.ShedDeadline, sst.ShedQueueFull, sst.Limit, shedCount)
 		}
 		fmt.Println()
 		if *trace {

@@ -21,7 +21,8 @@ import (
 
 // Pool metrics, shared process-wide across pools.
 var (
-	mWaitNS   = obs.H("pool.acquire.wait.ns")
+	mWaitNS   = obs.H("pool.acquire.wait.ns")  // queue wait only (capacity contention)
+	mTotalNS  = obs.H("pool.acquire.total.ns") // full Acquire latency incl. dial time
 	gLive     = obs.G("pool.live")
 	cDials    = obs.C("pool.dials")
 	cDialErrs = obs.C("pool.dial_errors")
@@ -56,9 +57,14 @@ type Pool struct {
 	addr string
 	cfg  PoolConfig
 
-	mu     sync.Mutex
-	idle   []*remote.Conn
-	live   int
+	mu   sync.Mutex
+	idle []*remote.Conn
+	live int
+	// waiter is a broadcast generation channel: signal() closes it and
+	// installs a fresh one, waking every blocked Acquire at once. A
+	// buffered token channel is not enough — two releases racing two
+	// blocked acquirers can drop the second token, leaving one waiter
+	// asleep forever while an idle connection sits in the pool.
 	waiter chan struct{}
 	closed bool
 	stats  Stats
@@ -69,7 +75,7 @@ func NewPool(addr string, cfg PoolConfig) *Pool {
 	if cfg.Max <= 0 {
 		cfg.Max = 1
 	}
-	return &Pool{addr: addr, cfg: cfg, waiter: make(chan struct{}, 1)}
+	return &Pool{addr: addr, cfg: cfg, waiter: make(chan struct{})}
 }
 
 // Addr returns the pooled server address.
@@ -88,7 +94,14 @@ func (p *Pool) Acquire(ctx context.Context) (*remote.Conn, error) {
 	_, sp := obs.StartSpan(ctx, obs.SpanPoolAcquire)
 	defer sp.Finish()
 	start := time.Now()
-	defer func() { mWaitNS.ObserveDuration(time.Since(start)) }()
+	var dialDur time.Duration
+	defer func() {
+		// Wait time is what admission control estimates from: it must
+		// measure capacity contention only, not how long a dial took.
+		total := time.Since(start)
+		mTotalNS.ObserveDuration(total)
+		mWaitNS.ObserveDuration(total - dialDur)
+	}()
 	for {
 		p.mu.Lock()
 		if p.closed {
@@ -108,7 +121,9 @@ func (p *Pool) Acquire(ctx context.Context) (*remote.Conn, error) {
 		if p.live < p.cfg.Max {
 			p.live++
 			p.mu.Unlock()
+			dialStart := time.Now()
 			c, err := remote.Dial(p.addr)
+			dialDur += time.Since(dialStart)
 			if err != nil {
 				p.mu.Lock()
 				p.live--
@@ -126,10 +141,14 @@ func (p *Pool) Acquire(ctx context.Context) (*remote.Conn, error) {
 			sp.Annotate("via", "dial")
 			return c, nil
 		}
+		// Capture the current generation channel under the lock: a release
+		// racing this unlock closes this exact channel, so the wakeup
+		// cannot be missed. After waking, loop and re-contend.
+		ch := p.waiter
 		p.mu.Unlock()
 		sp.Annotate("via", "wait")
 		select {
-		case <-p.waiter:
+		case <-ch:
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -177,11 +196,16 @@ func (p *Pool) Discard(c *remote.Conn) {
 	p.signal()
 }
 
+// signal broadcasts "capacity may be free" to every blocked Acquire by
+// closing the current generation channel and installing a fresh one. All
+// waiters wake and re-contend under the lock; losers capture the new
+// generation and sleep again. Closing under the lock pairs with Acquire
+// capturing p.waiter under the same lock — no wakeup can fall between.
 func (p *Pool) signal() {
-	select {
-	case p.waiter <- struct{}{}:
-	default:
-	}
+	p.mu.Lock()
+	close(p.waiter)
+	p.waiter = make(chan struct{})
+	p.mu.Unlock()
 }
 
 // evictLocked applies the age-wise idle eviction policy.
@@ -282,6 +306,9 @@ func (p *Pool) Close() {
 	for _, c := range idle {
 		c.Close()
 	}
+	// Wake blocked acquirers so they observe the closed pool immediately
+	// instead of waiting out their contexts.
+	p.signal()
 }
 
 // Live reports the number of open connections (idle + in use).

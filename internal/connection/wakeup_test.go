@@ -1,0 +1,214 @@
+package connection
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vizq/internal/remote"
+)
+
+// trapCtx is a context whose Done() — called by Acquire's select when a
+// waiter commits to waiting, after it released the pool lock but before
+// it parks on the wakeup channel — announces the call and then blocks
+// until the test opens the gate. It freezes a waiter deterministically
+// inside the lost-wakeup window that real schedulers only hit by chance.
+type trapCtx struct {
+	context.Context
+	reached chan struct{} // closed on first Done() call
+	gate    chan struct{} // Done() returns once this closes
+	once    sync.Once
+}
+
+func (c *trapCtx) Done() <-chan struct{} {
+	c.once.Do(func() {
+		close(c.reached)
+		<-c.gate
+	})
+	return c.Context.Done()
+}
+
+// TestLostWakeupRegression is the deterministic regression test for the
+// pool's lost-wakeup bug. The old signal() did a non-blocking send into a
+// 1-buffered token channel; a send arriving while no waiter is parked yet
+// — the waiter has seen the pool full and released the lock, but has not
+// reached its select — lands in the buffer, and the next send is dropped
+// on the floor. Two connections released in that window carry one token
+// for two committed waiters: one waiter sleeps until its deadline while
+// an idle connection sits in the pool and nothing will ever signal again.
+//
+// The test freezes two waiters in exactly that window with trapCtx, then
+// releases both held connections, then lets the waiters proceed. Pre-fix,
+// exactly one waiter starves and times out; with the broadcast generation
+// channel (captured under the pool lock, so a close cannot slip past a
+// committed waiter) both wake and acquire.
+func TestLostWakeupRegression(t *testing.T) {
+	srv := startServer(t, remote.Config{})
+	p := NewPool(srv.Addr(), PoolConfig{Max: 2})
+	defer p.Close()
+
+	held := make([]*remote.Conn, 2)
+	for i := range held {
+		c, err := p.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		held[i] = c
+	}
+
+	gate := make(chan struct{})
+	errc := make(chan error, 2)
+	won := make(chan *remote.Conn, 2)
+	var wg sync.WaitGroup
+	traps := make([]*trapCtx, 2)
+	for i := range traps {
+		parent, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		tc := &trapCtx{Context: parent, reached: make(chan struct{}), gate: gate}
+		traps[i] = tc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := p.Acquire(tc)
+			if err != nil {
+				errc <- err
+				return
+			}
+			// Hold until every waiter has acquired: a waiter releasing
+			// right away would re-signal and paper over a dropped token.
+			won <- c
+		}()
+	}
+	// Both waiters are now frozen between the capacity check and the park:
+	// they have committed to waiting but cannot receive a wakeup yet.
+	for _, tc := range traps {
+		<-tc.reached
+	}
+	// Two releases land in the window. The buggy token channel buffers the
+	// first and drops the second.
+	p.Release(held[0])
+	p.Release(held[1])
+	close(gate)
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("a committed waiter never woke (lost wakeup): %v", err)
+	}
+	close(won)
+	for c := range won {
+		p.Release(c)
+	}
+}
+
+// TestNoLostWakeupUnderConcurrentReleases stresses the same property
+// through real scheduler timing: racing releases against blocked
+// acquirers that hold what they win until every waiter has acquired.
+//
+// The test saturates the pool, blocks Max acquirers behind it, then
+// returns all held connections from racing goroutines. The blocked
+// acquirers HOLD what they win until every one of them has acquired —
+// with capacity for all of them, all must succeed. Pre-fix, a dropped
+// token means one waiter sleeps while an idle connection sits in the
+// pool and nobody will ever signal again; its context times out and the
+// test fails. Post-fix every round completes in microseconds.
+func TestNoLostWakeupUnderConcurrentReleases(t *testing.T) {
+	srv := startServer(t, remote.Config{})
+	p := NewPool(srv.Addr(), PoolConfig{Max: 2})
+	defer p.Close()
+
+	const (
+		waiters = 2 // == Max: capacity exists for every blocked acquirer
+		rounds  = 300
+	)
+	for round := 0; round < rounds; round++ {
+		// Saturate the pool.
+		held := make([]*remote.Conn, 0, waiters)
+		for i := 0; i < waiters; i++ {
+			c, err := p.Acquire(context.Background())
+			if err != nil {
+				t.Fatalf("round %d: saturate acquire: %v", round, err)
+			}
+			held = append(held, c)
+		}
+
+		var woke atomic.Int64
+		var wg sync.WaitGroup
+		errc := make(chan error, waiters)
+		acquired := make(chan *remote.Conn, waiters)
+		for i := 0; i < waiters; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				c, err := p.Acquire(ctx)
+				if err != nil {
+					errc <- err
+					return
+				}
+				woke.Add(1)
+				acquired <- c // hold: released only after ALL waiters won
+			}()
+		}
+
+		// Give the waiters a moment to block, then release the held
+		// connections from racing goroutines — the exact interleaving the
+		// buggy 1-buffered token channel dropped.
+		time.Sleep(200 * time.Microsecond) //vizlint:allow sleep -- racing releases against blocked waiters is the point of this test
+		var rel sync.WaitGroup
+		for _, c := range held {
+			rel.Add(1)
+			go func(c *remote.Conn) {
+				defer rel.Done()
+				p.Release(c)
+			}(c)
+		}
+		rel.Wait()
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Fatalf("round %d: a waiter never woke (lost wakeup): %v", round, err)
+		}
+		if got := woke.Load(); got != waiters {
+			t.Fatalf("round %d: %d/%d waiters acquired", round, got, waiters)
+		}
+		close(acquired)
+		for c := range acquired {
+			p.Release(c)
+		}
+	}
+}
+
+// TestCloseWakesBlockedAcquirers pins that Close broadcasts: acquirers
+// blocked on a saturated pool must fail with "pool closed" promptly, not
+// hang until their contexts expire.
+func TestCloseWakesBlockedAcquirers(t *testing.T) {
+	srv := startServer(t, remote.Config{})
+	p := NewPool(srv.Addr(), PoolConfig{Max: 1})
+	c, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_, err := p.Acquire(ctx)
+		errc <- err
+	}()
+	time.Sleep(time.Millisecond) //vizlint:allow sleep -- let the acquirer block before closing
+	p.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("acquire on a closed pool succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked acquirer not woken by Close")
+	}
+	c.Close()
+	p.Release(c)
+}

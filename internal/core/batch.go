@@ -259,6 +259,7 @@ func (p *Processor) runFused(ctx context.Context, batch []*query.Query, g fuseGr
 	if !p.opt.DisableReuseAdjustment {
 		sent = cache.AdjustForReuse(sent)
 	}
+	start := time.Now()
 	res, err := p.executeRemote(ctx, sent)
 	if err != nil {
 		for _, i := range g.members {
@@ -266,6 +267,12 @@ func (p *Processor) runFused(ctx context.Context, batch []*query.Query, g fuseGr
 		}
 		return
 	}
+	// Each derived member is cached at the fused execution's measured cost:
+	// re-running any member means re-running the fused remote query, and the
+	// eviction policy ranks entries by the work a miss would cost. A
+	// hardcoded nominal cost would undersell expensive fused queries and
+	// evict exactly the entries worth keeping.
+	cost := time.Since(start)
 	_, pp := obs.StartSpan(ctx, obs.SpanPostProcess)
 	defer pp.Finish()
 	for _, i := range g.members {
@@ -276,7 +283,7 @@ func (p *Processor) runFused(ctx context.Context, batch []*query.Query, g fuseGr
 		}
 		results[i] = derived
 		if !p.opt.DisableIntelligentCache {
-			p.intelligent.Put(batch[i], derived, time.Millisecond)
+			p.intelligent.Put(batch[i], derived, cost)
 		}
 	}
 }

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"vizq/internal/query"
+	"vizq/internal/remote"
+	"vizq/internal/tde/exec"
+	"vizq/internal/tde/storage"
+)
+
+// recordingCache is a QueryCache that records every Put's attributed cost.
+type recordingCache struct {
+	mu    sync.Mutex
+	costs map[string]time.Duration
+}
+
+func newRecordingCache() *recordingCache {
+	return &recordingCache{costs: make(map[string]time.Duration)}
+}
+
+func (c *recordingCache) Get(q *query.Query) (*exec.Result, bool) { return nil, false }
+
+func (c *recordingCache) Put(q *query.Query, r *exec.Result, cost time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.costs[q.Key()] = cost
+}
+
+// TestFusedMemberCacheCost pins the cost attribution fix: every member
+// derived from a fused execution is cached at the fused query's measured
+// remote cost, not a hardcoded nominal millisecond. The eviction policy
+// ranks entries by the work a miss would re-incur — underselling fused
+// results would evict exactly the entries worth keeping.
+func TestFusedMemberCacheCost(t *testing.T) {
+	const latency = 15 * time.Millisecond
+	srv := startBackend(t, remote.Config{Latency: latency})
+	rec := newRecordingCache()
+	pool := newProcessor(t, srv, DefaultOptions(), 4).pool // reuse pool setup
+	p := NewProcessor(pool, rec, nil, DefaultOptions())
+
+	base := query.View{Table: "flights"}
+	batch := []*query.Query{
+		{
+			DataSource: "flights", View: base,
+			Dims:     []query.Dim{{Col: "dest"}},
+			Measures: []query.Measure{{Fn: query.Count, As: "n"}},
+		},
+		{
+			DataSource: "flights", View: base,
+			Dims:     []query.Dim{{Col: "dest"}},
+			Measures: []query.Measure{{Fn: query.Sum, Col: "distance", As: "dist"}},
+		},
+	}
+	if _, err := p.ExecuteBatch(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.FusedAway != 1 {
+		t.Fatalf("batch did not fuse: %+v", st)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for _, q := range batch {
+		cost, ok := rec.costs[q.Key()]
+		if !ok {
+			t.Fatalf("member %q not cached", q.Key())
+		}
+		if cost < latency {
+			t.Errorf("member %q cached at cost %v; want >= measured remote cost %v", q.Key(), cost, latency)
+		}
+	}
+}
+
+// assertOrdered fails unless res is sorted by the given output columns,
+// using the same collation applyOrder sorts with.
+func assertOrdered(t *testing.T, res *exec.Result, order []query.Order) {
+	t.Helper()
+	cols := make([]int, len(order))
+	for i, o := range order {
+		cols[i] = res.ColumnIndex(o.Col)
+		if cols[i] < 0 {
+			t.Fatalf("order column %q missing from result", o.Col)
+		}
+	}
+	for r := 1; r < res.N; r++ {
+		for k, o := range order {
+			c := storage.Compare(res.Value(r-1, cols[k]), res.Value(r, cols[k]), res.Schema[cols[k]].Coll)
+			if o.Desc {
+				c = -c
+			}
+			if c < 0 {
+				break // strictly ordered on this key; later keys unconstrained
+			}
+			if c > 0 {
+				t.Fatalf("row %d out of order on %q (desc=%v)", r, o.Col, o.Desc)
+			}
+		}
+	}
+}
+
+// TestFusionRestoresMemberOrder pins the ordered-fusion contract:
+// fuseSignature strips OrderBy, so members with different sort orders
+// share one remote execution in the first member's sent ordering — and
+// Derive must then restore each member's own requested order.
+func TestFusionRestoresMemberOrder(t *testing.T) {
+	base := query.View{Table: "flights"}
+	cases := []struct {
+		name   string
+		orders [][]query.Order
+	}{
+		{"asc dim vs desc measure", [][]query.Order{
+			{{Col: "dest"}},
+			{{Col: "dist", Desc: true}},
+		}},
+		{"opposite directions on the same dim", [][]query.Order{
+			{{Col: "dest"}},
+			{{Col: "dest", Desc: true}},
+		}},
+		{"unordered first, ordered second", [][]query.Order{
+			nil,
+			{{Col: "dist", Desc: true}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := startBackend(t, remote.Config{})
+			p := newProcessor(t, srv, DefaultOptions(), 4)
+			batch := []*query.Query{
+				{
+					DataSource: "flights", View: base,
+					Dims:     []query.Dim{{Col: "dest"}},
+					Measures: []query.Measure{{Fn: query.Count, As: "n"}},
+					OrderBy:  tc.orders[0],
+				},
+				{
+					DataSource: "flights", View: base,
+					Dims:     []query.Dim{{Col: "dest"}},
+					Measures: []query.Measure{{Fn: query.Sum, Col: "distance", As: "dist"}},
+					OrderBy:  tc.orders[1],
+				},
+			}
+			results, err := p.ExecuteBatch(context.Background(), batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := p.Stats(); st.FusedAway != 1 {
+				t.Fatalf("members with different OrderBy must still fuse: %+v", st)
+			}
+			for i, res := range results {
+				if res.N == 0 {
+					t.Fatalf("member %d: empty result", i)
+				}
+				if len(batch[i].OrderBy) > 0 {
+					assertOrdered(t, res, batch[i].OrderBy)
+				}
+			}
+			// The two members agree on content (modulo projection): equal
+			// row counts over the same groups.
+			if results[0].N != results[1].N {
+				t.Fatalf("member row counts diverge: %d vs %d", results[0].N, results[1].N)
+			}
+		})
+	}
+}
+
+// TestRankedQueriesNeverFuse pins that top-n queries are excluded from
+// fusion: a ranked query's row set depends on its own OrderBy and N, so
+// sharing another member's execution would change its answer.
+func TestRankedQueriesNeverFuse(t *testing.T) {
+	base := query.View{Table: "flights"}
+	cases := []struct {
+		name string
+		a, b *query.Query
+	}{
+		{
+			"ranked vs unranked twin",
+			&query.Query{
+				DataSource: "flights", View: base,
+				Dims:     []query.Dim{{Col: "dest"}},
+				Measures: []query.Measure{{Fn: query.Count, As: "n"}},
+				OrderBy:  []query.Order{{Col: "n", Desc: true}},
+				N:        5,
+			},
+			&query.Query{
+				DataSource: "flights", View: base,
+				Dims:     []query.Dim{{Col: "dest"}},
+				Measures: []query.Measure{{Fn: query.Sum, Col: "distance", As: "dist"}},
+			},
+		},
+		{
+			"two ranked with different measures",
+			&query.Query{
+				DataSource: "flights", View: base,
+				Dims:     []query.Dim{{Col: "carrier"}},
+				Measures: []query.Measure{{Fn: query.Count, As: "n"}},
+				OrderBy:  []query.Order{{Col: "n", Desc: true}},
+				N:        3,
+			},
+			&query.Query{
+				DataSource: "flights", View: base,
+				Dims:     []query.Dim{{Col: "carrier"}},
+				Measures: []query.Measure{{Fn: query.Sum, Col: "delay", As: "d"}},
+				OrderBy:  []query.Order{{Col: "d", Desc: true}},
+				N:        3,
+			},
+		},
+		{
+			"same ranked query, different N",
+			&query.Query{
+				DataSource: "flights", View: base,
+				Dims:     []query.Dim{{Col: "carrier"}},
+				Measures: []query.Measure{{Fn: query.Count, As: "n"}},
+				OrderBy:  []query.Order{{Col: "n", Desc: true}},
+				N:        3,
+			},
+			&query.Query{
+				DataSource: "flights", View: base,
+				Dims:     []query.Dim{{Col: "carrier"}},
+				Measures: []query.Measure{{Fn: query.Count, As: "n"}},
+				OrderBy:  []query.Order{{Col: "n", Desc: true}},
+				N:        6,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := startBackend(t, remote.Config{})
+			// Intelligent cache off so derivability cannot short-circuit the
+			// fusion decision under test.
+			opt := DefaultOptions()
+			opt.DisableIntelligentCache = true
+			p := newProcessor(t, srv, opt, 4)
+			results, err := p.ExecuteBatch(context.Background(), []*query.Query{tc.a, tc.b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := p.Stats()
+			if st.FusedAway != 0 {
+				t.Fatalf("ranked query fused: %+v", st)
+			}
+			if st.RemoteQueries != 2 {
+				t.Fatalf("want 2 separate remote executions, got %d", st.RemoteQueries)
+			}
+			for i, res := range results {
+				q := []*query.Query{tc.a, tc.b}[i]
+				if q.N > 0 && res.N > q.N {
+					t.Fatalf("member %d: %d rows exceeds top-%d", i, res.N, q.N)
+				}
+				if len(q.OrderBy) > 0 {
+					assertOrdered(t, res, q.OrderBy)
+				}
+			}
+		})
+	}
+}

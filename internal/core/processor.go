@@ -19,6 +19,7 @@ import (
 	"vizq/internal/obs"
 	"vizq/internal/query"
 	"vizq/internal/resilience"
+	"vizq/internal/sched"
 	"vizq/internal/tde/exec"
 	"vizq/internal/tde/plan"
 	"vizq/internal/tde/storage"
@@ -72,6 +73,13 @@ type Options struct {
 	// per-data-source circuit breaker, and (if Resilience.ServeStale) lets
 	// the pipeline fall back to expired cache entries during outages.
 	Resilience *resilience.Config
+	// Scheduler, when non-nil, admission-controls every remote execution:
+	// queries queue under their context's class and session, and may be
+	// shed with sched.ErrShed under overload. Cache hits bypass it — they
+	// consume no backend capacity. A shed never reaches the circuit
+	// breaker (it is refused before the resilience layer runs), but it
+	// qualifies for the stale-on-error degraded read like an outage does.
+	Scheduler *sched.Scheduler
 }
 
 // DefaultOptions enable everything.
@@ -204,9 +212,16 @@ func (p *Processor) executeRemote(ctx context.Context, q *query.Query) (*exec.Re
 	if len(big) > 0 {
 		// Each retry re-runs the whole externalization: temp tables created
 		// by a failed attempt died with its poisoned connection anyway.
-		res, err := resilience.Do(ctx, p.rs, func(ctx context.Context) (*exec.Result, error) {
-			return p.executeWithTempTables(ctx, q, big)
-		})
+		res, err := func() (*exec.Result, error) {
+			tk, err := p.opt.Scheduler.Admit(ctx)
+			if err != nil {
+				return nil, err
+			}
+			defer tk.Done()
+			return resilience.Do(ctx, p.rs, func(ctx context.Context) (*exec.Result, error) {
+				return p.executeWithTempTables(ctx, q, big)
+			})
+		}()
 		if err != nil {
 			if stale, ok := p.staleFallback(q, q.ToTQL(), err); ok {
 				return stale, nil
@@ -265,7 +280,9 @@ func (p *Processor) staleFallback(q *query.Query, text string, err error) (*exec
 	if !p.rs.ServeStale() {
 		return nil, false
 	}
-	if !errors.Is(err, resilience.ErrOpen) && !connection.IsTransport(err) {
+	// A load shed qualifies like an outage: the backend was never asked,
+	// and a slightly old dashboard beats an error during an overload burst.
+	if !errors.Is(err, resilience.ErrOpen) && !errors.Is(err, sched.ErrShed) && !connection.IsTransport(err) {
 		return nil, false
 	}
 	var res *exec.Result
@@ -298,9 +315,16 @@ func (p *Processor) Metadata(ctx context.Context, table string) (*exec.Result, e
 	})
 }
 
-// fetchRemote runs one remote round-trip — retried under the resilience
-// policy when one is configured — and populates both cache levels.
+// fetchRemote runs one remote round-trip — admission-controlled when a
+// scheduler is configured, retried under the resilience policy when one is
+// configured — and populates both cache levels. Under single-flight only
+// the leader runs here, so coalesced waiters never consume admission slots.
 func (p *Processor) fetchRemote(ctx context.Context, q *query.Query, text string) (*exec.Result, error) {
+	tk, err := p.opt.Scheduler.Admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer tk.Done()
 	start := time.Now()
 	res, err := resilience.Do(ctx, p.rs, func(ctx context.Context) (*exec.Result, error) {
 		return p.pool.Query(ctx, text)

@@ -21,6 +21,7 @@ import (
 	"vizq/internal/obs"
 	"vizq/internal/query"
 	"vizq/internal/resilience"
+	"vizq/internal/sched"
 	"vizq/internal/tde/exec"
 	"vizq/internal/tde/plan"
 	"vizq/internal/tde/storage"
@@ -55,6 +56,10 @@ type PublishedSource struct {
 	// matters because the server fronts heterogeneous customer-operated
 	// backends with very different failure profiles (Sect. 5).
 	Resilience *resilience.Config
+	// Scheduler overrides the server-wide admission-control policy for
+	// this source (nil = inherit Config.Scheduler). The scheduler's
+	// initial in-flight limit defaults to the source's pool size.
+	Scheduler *sched.Config
 }
 
 // Config tunes the server.
@@ -74,6 +79,13 @@ type Config struct {
 	// degraded reads from expired cache entries during outages. Individual
 	// sources may override it via PublishedSource.Resilience.
 	Resilience *resilience.Config
+	// Scheduler, when set, places an admission controller in front of
+	// every published source: client queries run as Interactive under a
+	// per-connection fair-queuing session, extract refreshes as
+	// Background, and overload is shed with sched.ErrShed instead of
+	// queuing into slow timeouts. Individual sources may override it via
+	// PublishedSource.Scheduler.
+	Scheduler *sched.Config
 }
 
 // cacheOptions resolves the configured cache sizing.
@@ -101,8 +113,10 @@ type Server struct {
 	sources  map[string]*PublishedSource
 	procs    map[string]*core.Processor
 	pools    map[string]*connection.Pool
+	scheds   map[string]*sched.Scheduler
 	temps    map[string]*tempDef // content hash -> shared definition
 	extracts map[string]*extractState
+	connSeq  int
 	stats    Stats
 }
 
@@ -124,6 +138,7 @@ func NewServer(cfg Config) *Server {
 		sources: make(map[string]*PublishedSource),
 		procs:   make(map[string]*core.Processor),
 		pools:   make(map[string]*connection.Pool),
+		scheds:  make(map[string]*sched.Scheduler),
 		temps:   make(map[string]*tempDef),
 	}
 }
@@ -165,11 +180,34 @@ func (s *Server) Publish(src *PublishedSource) error {
 	} else if s.cfg.Resilience != nil {
 		popt.Resilience = s.cfg.Resilience
 	}
+	// Admission control: one scheduler per source, its in-flight limit
+	// anchored to the pool size unless the config pins one.
+	schedCfg := src.Scheduler
+	if schedCfg == nil {
+		schedCfg = s.cfg.Scheduler
+	}
+	if schedCfg != nil {
+		sc := *schedCfg
+		if sc.Limit <= 0 {
+			sc.Limit = max
+		}
+		sd := sched.New(sc)
+		s.scheds[key] = sd
+		popt.Scheduler = sd
+	}
 	s.sources[key] = src
 	s.pools[key] = pool
 	s.procs[key] = core.NewProcessor(pool, cache.NewIntelligentCache(s.cfg.cacheOptions()),
 		cache.NewLiteralCache(s.cfg.cacheOptions()), popt)
 	return nil
+}
+
+// Scheduler returns the named source's admission controller, or nil when
+// the source is unknown or admission control is not configured.
+func (s *Server) Scheduler(name string) *sched.Scheduler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scheds[strings.ToLower(name)]
 }
 
 // Unpublish removes a source, closing its pool and any extract server.
@@ -187,6 +225,7 @@ func (s *Server) Unpublish(name string) {
 	delete(s.sources, key)
 	delete(s.pools, key)
 	delete(s.procs, key)
+	delete(s.scheds, key)
 }
 
 // Stats snapshots counters.
@@ -219,6 +258,7 @@ type ClientConn struct {
 	source *PublishedSource
 	proc   *core.Processor
 	user   string
+	id     string // fair-queuing session identity
 
 	mu    sync.Mutex
 	temps map[string]*tempDef // client alias -> shared definition
@@ -243,11 +283,13 @@ func (s *Server) Connect(sourceName, user string) (*ClientConn, *Metadata, error
 	for name := range src.Calculations {
 		md.Calculations = append(md.Calculations, name)
 	}
+	s.connSeq++
 	return &ClientConn{
 		srv:    s,
 		source: src,
 		proc:   s.procs[key],
 		user:   user,
+		id:     fmt.Sprintf("%s#%d", user, s.connSeq),
 		temps:  make(map[string]*tempDef),
 		open:   true,
 	}, md, nil
@@ -335,6 +377,10 @@ func (c *ClientConn) Query(ctx context.Context, q *query.Query) (*exec.Result, e
 	c.srv.stats.Queries++
 	c.srv.mu.Unlock()
 	cDSQueries.Inc()
+	// Client queries are someone waiting on a spinner: Interactive unless
+	// the caller tagged otherwise, fair-queued per client connection.
+	ctx = sched.EnsureClass(ctx, sched.Interactive)
+	ctx = sched.EnsureSession(ctx, c.id)
 	ctx, sp := obs.StartSpan(ctx, obs.SpanDSQuery)
 	defer sp.Finish()
 

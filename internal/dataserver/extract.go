@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"vizq/internal/remote"
+	"vizq/internal/sched"
 	"vizq/internal/tde/engine"
 	"vizq/internal/tde/storage"
 )
@@ -38,7 +39,10 @@ func (s *Server) PublishExtract(src *PublishedSource) error {
 		tables = append(tables, j.Table)
 	}
 	localEng := engine.New(storage.NewDatabase("extract:" + src.Name))
-	if err := pullTables(live, localEng, tables); err != nil {
+	// Extract pulls are maintenance traffic: Background class, so a live
+	// source sharing the backend never starves dashboards for a snapshot.
+	ctx := sched.WithClass(context.Background(), sched.Background)
+	if err := pullTables(ctx, live, localEng, tables); err != nil {
 		return err
 	}
 	localSrv := remote.NewServer(localEng, remote.Config{QueryDOP: 2})
@@ -79,7 +83,8 @@ func (s *Server) RefreshExtract(name string) error {
 	for _, t := range st.tables {
 		_ = st.localEng.Database().DropTable("Extract", t)
 	}
-	if err := pullTables(st.liveBackend, st.localEng, st.tables); err != nil {
+	ctx := sched.WithClass(context.Background(), sched.Background)
+	if err := pullTables(ctx, st.liveBackend, st.localEng, st.tables); err != nil {
 		return err
 	}
 	if proc != nil {
@@ -97,14 +102,14 @@ func (s *Server) IsExtract(name string) bool {
 }
 
 // pullTables snapshots the named tables from a live backend into the local
-// engine's Extract schema.
-func pullTables(liveAddr string, localEng *engine.Engine, tables []string) error {
+// engine's Extract schema. The context carries the caller's priority class
+// (extract pulls are Background).
+func pullTables(ctx context.Context, liveAddr string, localEng *engine.Engine, tables []string) error {
 	conn, err := remote.Dial(liveAddr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	ctx := context.Background()
 	for _, name := range tables {
 		res, err := conn.Query(ctx, fmt.Sprintf("(table %s)", name))
 		if err != nil {

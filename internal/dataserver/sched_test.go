@@ -1,0 +1,106 @@
+package dataserver
+
+import (
+	"context"
+	"testing"
+
+	"vizq/internal/core"
+	"vizq/internal/query"
+	"vizq/internal/sched"
+)
+
+// TestSchedulerPerSource pins the Data Server wiring: with a Scheduler
+// config, every published source gets its own admission controller,
+// client queries run as Interactive under a per-connection session, and
+// an upstream Background tag survives the server's default.
+func TestSchedulerPerSource(t *testing.T) {
+	backend := startBackend(t)
+	s := publishFlights(t, backend, Config{
+		PipelineOptions: core.DefaultOptions(),
+		Scheduler:       &sched.Config{},
+	})
+	sc := s.Scheduler("FAA Flights")
+	if sc == nil {
+		t.Fatal("published source has no scheduler")
+	}
+	if s.Scheduler("nope") != nil {
+		t.Fatal("unknown source returned a scheduler")
+	}
+	// The limit anchors to the pool size (default 4).
+	if got := sc.Limit(); got != 4 {
+		t.Fatalf("scheduler limit %d, want pool max 4", got)
+	}
+
+	conn, _, err := s.Connect("faa flights", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	q := &query.Query{
+		View:     query.View{Table: "ignored"},
+		Dims:     []query.Dim{{Col: "carrier"}},
+		Measures: []query.Measure{{Fn: query.Count, As: "n"}},
+	}
+	if _, err := conn.Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	st := sc.Stats()
+	if st.AdmittedInteractive != 1 || st.AdmittedBackground != 0 {
+		t.Fatalf("untagged client query must admit as Interactive: %+v", st)
+	}
+
+	// A caller-supplied Background tag must not be overridden by the
+	// server's Interactive default (EnsureClass semantics).
+	bg := sched.WithClass(context.Background(), sched.Background)
+	q2 := q.Clone()
+	q2.Dims = []query.Dim{{Col: "origin"}}
+	if _, err := conn.Query(bg, q2); err != nil {
+		t.Fatal(err)
+	}
+	if st := sc.Stats(); st.AdmittedBackground != 1 {
+		t.Fatalf("Background tag lost through ClientConn.Query: %+v", st)
+	}
+
+	// A per-source override beats the server-wide config.
+	if err := s.Publish(&PublishedSource{
+		Name:      "tuned",
+		Backend:   backend.Addr(),
+		View:      query.View{Table: "flights"},
+		Scheduler: &sched.Config{Limit: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Scheduler("tuned").Limit(); got != 2 {
+		t.Fatalf("per-source scheduler limit %d, want 2", got)
+	}
+
+	// Unpublish drops the scheduler with the source.
+	s.Unpublish("tuned")
+	if s.Scheduler("tuned") != nil {
+		t.Fatal("unpublished source still has a scheduler")
+	}
+}
+
+// TestNoSchedulerByDefault: without a Scheduler config the pipeline runs
+// unthrottled exactly as before — no scheduler is created.
+func TestNoSchedulerByDefault(t *testing.T) {
+	backend := startBackend(t)
+	s := publishFlights(t, backend, Config{PipelineOptions: core.DefaultOptions()})
+	if s.Scheduler("FAA Flights") != nil {
+		t.Fatal("scheduler created without a Scheduler config")
+	}
+	conn, _, err := s.Connect("faa flights", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := &query.Query{
+		View:     query.View{Table: "ignored"},
+		Dims:     []query.Dim{{Col: "carrier"}},
+		Measures: []query.Measure{{Fn: query.Count, As: "n"}},
+	}
+	if _, err := conn.Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+}

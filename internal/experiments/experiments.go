@@ -125,6 +125,7 @@ func All() []Runner {
 		{"E8", "Data Server temp tables", E8DataServerTempTables},
 		{"E9", "published vs embedded extracts", E9PublishedVsEmbeddedExtracts},
 		{"E10", "resilience under backend outage", E10ResilienceUnderOutage},
+		{"E11", "admission control under overload", E11AdmissionControl},
 	}
 }
 

@@ -121,6 +121,32 @@ func TestAllExperimentsRun(t *testing.T) {
 	if !strings.Contains(e10.Stages, "breaker fast-fail") {
 		t.Error("E10: stage trace missing the breaker fast-fail section")
 	}
+
+	// E11: the scheduler must convert slow timeouts into fast sheds and
+	// keep the completed queries' p99 bounded. Goodput is reported but not
+	// hard-asserted: at exactly pool capacity both arms complete similar
+	// counts — the off arm's damage is latency and wasted waits, not
+	// throughput.
+	e11 := tables["E11"]
+	offRow, onRow := e11.Rows[0], e11.Rows[1]
+	if st := atoiCell(t, offRow[4]); st == 0 {
+		t.Error("E11: ungoverned arm saw no slow timeouts at 4x saturation")
+	}
+	if st := atoiCell(t, onRow[4]); st != 0 {
+		t.Errorf("E11: scheduler arm had %s slow timeouts, want 0", onRow[4])
+	}
+	if sheds := atoiCell(t, onRow[3]); sheds == 0 {
+		t.Error("E11: scheduler arm shed nothing under 4x overload")
+	}
+	if msCell(t, onRow[6]) >= msCell(t, offRow[6]) {
+		t.Errorf("E11: scheduler p99 (%s ms) should beat ungoverned p99 (%s ms)",
+			onRow[6], offRow[6])
+	}
+	// A shed is useful only if it is fast: the client must learn "no" in
+	// microseconds, not after burning its budget.
+	if maxShed := msCell(t, onRow[7]); maxShed > 10*time.Millisecond {
+		t.Errorf("E11: slowest shed took %s ms, want a few ms at most", onRow[7])
+	}
 }
 
 func atoiCell(t *testing.T, s string) int {
@@ -156,7 +182,7 @@ func TestScalePresets(t *testing.T) {
 	if TestScale().Rows >= FullScale().Rows {
 		t.Error("test scale should be smaller")
 	}
-	if len(All()) != 10 {
-		t.Errorf("experiments = %d, want 10", len(All()))
+	if len(All()) != 11 {
+		t.Errorf("experiments = %d, want 11", len(All()))
 	}
 }

@@ -39,6 +39,7 @@ const (
 	SpanDSQuery     = "ds.query"           // one Data Server client query
 	SpanRetry       = "resilience.retry"   // one retried attempt (attempt >= 2) incl. its backoff
 	SpanBreaker     = "resilience.breaker" // a circuit-breaker fast-fail (near-zero duration by design)
+	SpanSchedAdmit  = "sched.admit"        // admission control: direct admit, queue wait, or shed
 )
 
 // Tracer collects finished root spans for one traced unit of work (a

@@ -1,0 +1,619 @@
+// Package sched is the Data Server's admission-control and scheduling
+// layer. connection.Pool bounds how many queries one data source executes
+// at once, but nothing above it bounds how many queries *wait*: an
+// overload burst queues unboundedly inside the pool, every queued query
+// eventually burns its full client timeout, and interactive p99 collapses
+// to the timeout. Interactive-at-scale systems (Hillview, IDEBench) keep
+// tail latency bounded with explicit arrival discipline, not just caching;
+// this package supplies it per published source:
+//
+//   - Priority classes. Queries carry a Class (Interactive vs Background)
+//     in their context; dashboard renders outrank extract refreshes.
+//   - Weighted fair queuing across sessions. Waiting queries are queued
+//     per session and dequeued class-priority-first, weighted round-robin
+//     across sessions within a class, so one chatty dashboard cannot
+//     starve the others.
+//   - Deadline-aware load shedding. A query whose context deadline will
+//     expire before its estimated queue wait (EWMA of recent service
+//     times x queue depth ahead, divided by the concurrency limit) is
+//     rejected immediately with ErrShed instead of timing out slowly.
+//   - An adaptive concurrency governor. The in-flight limit starts at the
+//     pool's Max and adjusts around it using observed service latency:
+//     sustained latency inflation shrinks the limit, headroom with queued
+//     demand grows it.
+//
+// A shed is not a backend failure: it never reaches the circuit breaker,
+// and the pipeline may answer it from a stale cache entry (see
+// internal/core's degraded-read path).
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vizq/internal/obs"
+)
+
+// Scheduler metrics, shared process-wide across schedulers.
+var (
+	cAdmitted    = obs.C("sched.admitted")
+	cAdmittedInt = obs.C("sched.admitted.interactive")
+	cAdmittedBg  = obs.C("sched.admitted.background")
+	cShed        = obs.C("sched.shed")
+	cShedFull    = obs.C("sched.shed.queue_full")
+	cQueued      = obs.C("sched.queued")
+	cCanceled    = obs.C("sched.canceled")
+	gInflight    = obs.G("sched.inflight")
+	gLimit       = obs.G("sched.limit")
+	gDepth       = obs.G("sched.queue.depth")
+	mWaitNS      = obs.H("sched.wait.ns")
+	mServiceNS   = obs.H("sched.service.ns")
+)
+
+// Class is a query's priority class.
+type Class uint8
+
+// The two classes: dashboard renders are Interactive, extract refreshes
+// and other maintenance traffic are Background. Interactive is the zero
+// value — an untagged context is someone waiting on a spinner.
+const (
+	Interactive Class = iota
+	Background
+)
+
+// numClasses sizes per-class arrays.
+const numClasses = 2
+
+// String names the class.
+func (c Class) String() string {
+	if c == Background {
+		return "background"
+	}
+	return "interactive"
+}
+
+type classKey struct{}
+type sessionKey struct{}
+
+// WithClass tags the context with a priority class.
+func WithClass(ctx context.Context, c Class) context.Context {
+	return context.WithValue(ctx, classKey{}, c)
+}
+
+// ClassOf reads the context's class; untagged contexts are Interactive.
+func ClassOf(ctx context.Context) Class {
+	if c, ok := ctx.Value(classKey{}).(Class); ok {
+		return c
+	}
+	return Interactive
+}
+
+// EnsureClass tags the context with c only if no class is set yet, so an
+// upstream tag (an extract refresh marking itself Background) survives
+// the Data Server's default.
+func EnsureClass(ctx context.Context, c Class) context.Context {
+	if _, ok := ctx.Value(classKey{}).(Class); ok {
+		return ctx
+	}
+	return WithClass(ctx, c)
+}
+
+// WithSession tags the context with a fair-queuing session identity
+// (typically one client connection or one dashboard).
+func WithSession(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, sessionKey{}, id)
+}
+
+// SessionOf reads the context's session identity ("" when untagged; all
+// untagged queries share one queue).
+func SessionOf(ctx context.Context) string {
+	if s, ok := ctx.Value(sessionKey{}).(string); ok {
+		return s
+	}
+	return ""
+}
+
+// EnsureSession tags the context with id only if no session is set yet.
+func EnsureSession(ctx context.Context, id string) context.Context {
+	if _, ok := ctx.Value(sessionKey{}).(string); ok {
+		return ctx
+	}
+	return WithSession(ctx, id)
+}
+
+// ErrShed is the sentinel all load-shedding rejections wrap: the query was
+// refused *before* consuming backend capacity, in microseconds rather than
+// after a timeout-length wait. Callers distinguish it from backend errors
+// with errors.Is(err, ErrShed).
+var ErrShed = errors.New("sched: load shed")
+
+// ShedError carries why a query was shed and what the scheduler estimated.
+type ShedError struct {
+	Reason  string        // "deadline" or "queue-full"
+	EstWait time.Duration // estimated queue wait at rejection time
+	Budget  time.Duration // remaining context budget (0 when none)
+}
+
+// Error renders the rejection.
+func (e *ShedError) Error() string {
+	if e.Reason == "deadline" {
+		return fmt.Sprintf("sched: load shed (estimated wait %v exceeds remaining budget %v)", e.EstWait, e.Budget)
+	}
+	return fmt.Sprintf("sched: load shed (%s)", e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrShed) hold.
+func (e *ShedError) Unwrap() error { return ErrShed }
+
+// Config tunes one source's scheduler. Zero fields take the defaults
+// noted on them.
+type Config struct {
+	// Limit is the initial in-flight bound — normally the source's pool
+	// Max, which the Data Server fills in at Publish (default 4).
+	Limit int
+	// MinLimit / MaxLimit bound the governor's adjustment range around
+	// Limit (defaults 1 and 2*Limit).
+	MinLimit int
+	MaxLimit int
+	// MaxQueue bounds the total number of waiting queries per source
+	// (default 128). Beyond it every arrival is shed.
+	MaxQueue int
+	// MaxSessionQueue bounds one session's waiting queries (default 16):
+	// a chatty dashboard sheds before it can monopolize the queue.
+	MaxSessionQueue int
+	// DeadlineSafety is the fraction of a query's remaining deadline
+	// budget its estimated wait may consume before it is shed
+	// (default 0.85). Lower values shed earlier and keep admitted-query
+	// latency further under the deadline.
+	DeadlineSafety float64
+	// Weights maps session ids to fair-queuing weights (default 1 each):
+	// a session with weight 2 gets two dequeues per round-robin turn.
+	Weights map[string]int
+	// Tolerance is the governor's latency slack: the limit shrinks when
+	// the service EWMA exceeds Tolerance x the observed latency floor
+	// (default 2.0).
+	Tolerance float64
+	// AdjustEvery is how many completions pass between governor steps
+	// (default 8).
+	AdjustEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Limit <= 0 {
+		c.Limit = 4
+	}
+	if c.MinLimit <= 0 {
+		c.MinLimit = 1
+	}
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 2 * c.Limit
+	}
+	if c.MaxLimit < c.MinLimit {
+		c.MaxLimit = c.MinLimit
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 128
+	}
+	if c.MaxSessionQueue <= 0 {
+		c.MaxSessionQueue = 16
+	}
+	if c.DeadlineSafety <= 0 || c.DeadlineSafety > 1 {
+		c.DeadlineSafety = 0.85
+	}
+	if c.Tolerance <= 1 {
+		c.Tolerance = 2.0
+	}
+	if c.AdjustEvery <= 0 {
+		c.AdjustEvery = 8
+	}
+	return c
+}
+
+// Stats snapshots one scheduler's activity.
+type Stats struct {
+	AdmittedInteractive int64
+	AdmittedBackground  int64
+	Shed                int64
+	ShedDeadline        int64
+	ShedQueueFull       int64
+	Canceled            int64 // left the queue on context cancellation
+	Completed           int64
+	Inflight            int
+	Queued              int
+	Limit               int
+	// EWMAService is the current service-time estimate admission math uses.
+	EWMAService time.Duration
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	class   Class
+	ready   chan struct{}
+	granted bool // guarded by Scheduler.mu
+}
+
+// sessionQueue is one session's FIFO of waiters within a class.
+type sessionQueue struct {
+	id     string
+	items  []*waiter
+	weight int
+	credit int // remaining dequeues this round-robin turn
+}
+
+// classQueue round-robins across the class's sessions.
+type classQueue struct {
+	sessions map[string]*sessionQueue
+	ring     []*sessionQueue // visit order; empty sessions are removed
+	cursor   int
+	waiting  int
+}
+
+// Scheduler is one source's admission controller. Safe for concurrent use.
+type Scheduler struct {
+	cfg Config
+
+	mu       sync.Mutex
+	inflight int
+	limit    int
+	classes  [numClasses]classQueue
+	waiting  int
+
+	// ewmaNS estimates service time; floorNS tracks the lowest smoothed
+	// latency seen (slowly decaying upward) as the governor's baseline.
+	ewmaNS      float64
+	floorNS     float64
+	sinceAdjust int
+
+	stats Stats
+}
+
+// New builds a scheduler from cfg.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{cfg: cfg, limit: cfg.Limit}
+	for i := range s.classes {
+		s.classes[i].sessions = make(map[string]*sessionQueue)
+	}
+	return s
+}
+
+// Stats snapshots counters. Nil-safe (no scheduler = zero stats).
+func (s *Scheduler) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Inflight = s.inflight
+	st.Queued = s.waiting
+	st.Limit = s.limit
+	st.EWMAService = time.Duration(s.ewmaNS)
+	return st
+}
+
+// Limit reads the governor's current in-flight limit.
+func (s *Scheduler) Limit() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.limit
+}
+
+// Ticket is one admitted query's capacity slot. Done returns it; every
+// admitted ticket must be Done exactly once.
+type Ticket struct {
+	s     *Scheduler
+	start time.Time
+	done  bool
+}
+
+// Done releases the slot, feeding the observed service time to the wait
+// estimator and the governor. Nil-safe and idempotent.
+func (t *Ticket) Done() {
+	if t == nil || t.done {
+		return
+	}
+	t.done = true
+	t.s.finish(time.Since(t.start), true)
+}
+
+// cancel releases the slot without a latency observation (the caller's
+// context died between grant and use; the service time never happened).
+func (t *Ticket) cancel() {
+	if t == nil || t.done {
+		return
+	}
+	t.done = true
+	t.s.finish(0, false)
+}
+
+// Admit asks for capacity to run one query. It returns immediately when
+// the source has headroom, queues under the context's class and session
+// when it does not, and sheds — returning an error wrapping ErrShed within
+// microseconds — when the queue is full or the context's deadline would
+// expire before the estimated queue wait. A nil scheduler admits
+// everything with a nil Ticket (Done on a nil Ticket is a no-op).
+func (s *Scheduler) Admit(ctx context.Context) (*Ticket, error) {
+	if s == nil {
+		return nil, nil
+	}
+	_, sp := obs.StartSpan(ctx, obs.SpanSchedAdmit)
+	defer sp.Finish()
+	class := ClassOf(ctx)
+	sess := SessionOf(ctx)
+	sp.Annotate("class", class.String())
+	start := time.Now()
+
+	s.mu.Lock()
+	// Fast path: capacity free and nobody of same-or-higher priority
+	// waiting (admitting past waiters would reorder the fair queue).
+	if s.inflight < s.limit && !s.queuedAtOrAbove(class) {
+		s.admitLocked(class)
+		s.mu.Unlock()
+		sp.Annotate("via", "direct")
+		mWaitNS.Observe(0)
+		return &Ticket{s: s, start: time.Now()}, nil
+	}
+
+	// Deadline-aware shedding: reject now if the estimated wait consumes
+	// the context's remaining budget. EWMA x (queue ahead + in flight),
+	// drained limit-wide, plus one service time for the query itself.
+	est := s.estimateLocked(class)
+	if deadline, ok := ctx.Deadline(); ok {
+		budget := time.Until(deadline)
+		if float64(est) > s.cfg.DeadlineSafety*float64(budget) {
+			s.stats.Shed++
+			s.stats.ShedDeadline++
+			s.mu.Unlock()
+			cShed.Inc()
+			sp.Annotate("via", "shed-deadline")
+			return nil, &ShedError{Reason: "deadline", EstWait: est, Budget: budget}
+		}
+	}
+
+	// Bounded queues: per source and per session.
+	cq := &s.classes[class]
+	sq := cq.sessions[sess]
+	if s.waiting >= s.cfg.MaxQueue || (sq != nil && len(sq.items) >= s.cfg.MaxSessionQueue) {
+		s.stats.Shed++
+		s.stats.ShedQueueFull++
+		s.mu.Unlock()
+		cShed.Inc()
+		cShedFull.Inc()
+		sp.Annotate("via", "shed-queue-full")
+		return nil, &ShedError{Reason: "queue-full", EstWait: est}
+	}
+	if sq == nil {
+		sq = &sessionQueue{id: sess, weight: s.sessionWeight(sess)}
+		cq.sessions[sess] = sq
+		cq.ring = append(cq.ring, sq)
+	}
+	w := &waiter{class: class, ready: make(chan struct{})}
+	sq.items = append(sq.items, w)
+	cq.waiting++
+	s.waiting++
+	gDepth.Set(int64(s.waiting))
+	s.mu.Unlock()
+	cQueued.Inc()
+	sp.Annotate("via", "queue")
+
+	select {
+	case <-w.ready:
+		mWaitNS.ObserveDuration(time.Since(start))
+		return &Ticket{s: s, start: time.Now()}, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: the slot is ours and must
+			// go back, but no service happened so nothing is observed.
+			s.mu.Unlock()
+			(&Ticket{s: s}).cancel()
+			return nil, ctx.Err()
+		}
+		s.removeLocked(class, sess, w)
+		s.stats.Canceled++
+		s.mu.Unlock()
+		cCanceled.Inc()
+		sp.Annotate("via", "canceled")
+		return nil, ctx.Err()
+	}
+}
+
+// admitLocked counts one admission.
+func (s *Scheduler) admitLocked(class Class) {
+	s.inflight++
+	gInflight.Set(int64(s.inflight))
+	cAdmitted.Inc()
+	if class == Background {
+		s.stats.AdmittedBackground++
+		cAdmittedBg.Inc()
+	} else {
+		s.stats.AdmittedInteractive++
+		cAdmittedInt.Inc()
+	}
+}
+
+// queuedAtOrAbove reports whether any waiter of class c or higher priority
+// (lower value) is queued.
+func (s *Scheduler) queuedAtOrAbove(c Class) bool {
+	for i := Class(0); i <= c; i++ {
+		if s.classes[i].waiting > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// estimateLocked predicts how long a new arrival of class c would wait:
+// everything in flight plus everything queued at-or-above its class, each
+// costing one EWMA service time, drained limit-wide — plus its own
+// service time. An unwarmed estimator (no completions yet) returns 0 and
+// admission falls back to the queue bounds alone.
+func (s *Scheduler) estimateLocked(c Class) time.Duration {
+	if s.ewmaNS <= 0 {
+		return 0
+	}
+	ahead := s.inflight
+	for i := Class(0); i <= c; i++ {
+		ahead += s.classes[i].waiting
+	}
+	limit := s.limit
+	if limit < 1 {
+		limit = 1
+	}
+	return time.Duration(s.ewmaNS * (float64(ahead)/float64(limit) + 1))
+}
+
+func (s *Scheduler) sessionWeight(id string) int {
+	if w, ok := s.cfg.Weights[id]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// removeLocked drops a canceled waiter from its session queue.
+func (s *Scheduler) removeLocked(class Class, sess string, w *waiter) {
+	cq := &s.classes[class]
+	sq := cq.sessions[sess]
+	if sq == nil {
+		return
+	}
+	for i, x := range sq.items {
+		if x == w {
+			sq.items = append(sq.items[:i], sq.items[i+1:]...)
+			cq.waiting--
+			s.waiting--
+			gDepth.Set(int64(s.waiting))
+			break
+		}
+	}
+	if len(sq.items) == 0 {
+		s.dropSessionLocked(cq, sq)
+	}
+}
+
+// dropSessionLocked removes an empty session from the map and ring.
+func (s *Scheduler) dropSessionLocked(cq *classQueue, sq *sessionQueue) {
+	delete(cq.sessions, sq.id)
+	for i, x := range cq.ring {
+		if x == sq {
+			cq.ring = append(cq.ring[:i], cq.ring[i+1:]...)
+			if cq.cursor > i {
+				cq.cursor--
+			}
+			if len(cq.ring) > 0 {
+				cq.cursor %= len(cq.ring)
+			} else {
+				cq.cursor = 0
+			}
+			return
+		}
+	}
+}
+
+// finish returns one slot, updates the estimator and governor (when the
+// service time is real), and grants queued waiters freed capacity.
+func (s *Scheduler) finish(d time.Duration, observe bool) {
+	s.mu.Lock()
+	s.inflight--
+	s.stats.Completed++
+	if observe {
+		mServiceNS.ObserveDuration(d)
+		const alpha = 0.2
+		ns := float64(d.Nanoseconds())
+		if s.ewmaNS == 0 {
+			s.ewmaNS = ns
+		} else {
+			s.ewmaNS = (1-alpha)*s.ewmaNS + alpha*ns
+		}
+		// The floor chases the best smoothed latency seen, decaying upward
+		// slowly so a legitimately slower regime resets the baseline.
+		if s.floorNS == 0 || s.ewmaNS < s.floorNS {
+			s.floorNS = s.ewmaNS
+		} else {
+			s.floorNS *= 1.002
+		}
+		s.governLocked()
+	}
+	s.dispatchLocked()
+	gInflight.Set(int64(s.inflight))
+	s.mu.Unlock()
+}
+
+// governLocked adapts the in-flight limit around the configured base:
+// additive decrease when the service EWMA inflates past Tolerance x the
+// latency floor (the backend is congesting — more concurrency would only
+// queue inside it), additive increase when latency is healthy and demand
+// is queued. Steps at most once per AdjustEvery completions.
+func (s *Scheduler) governLocked() {
+	s.sinceAdjust++
+	if s.sinceAdjust < s.cfg.AdjustEvery {
+		return
+	}
+	s.sinceAdjust = 0
+	switch {
+	case s.ewmaNS > s.floorNS*s.cfg.Tolerance && s.limit > s.cfg.MinLimit:
+		s.limit--
+	case s.waiting > 0 && s.ewmaNS <= s.floorNS*s.cfg.Tolerance && s.limit < s.cfg.MaxLimit:
+		s.limit++
+	}
+	gLimit.Set(int64(s.limit))
+}
+
+// dispatchLocked grants freed capacity: Interactive before Background,
+// weighted round-robin across sessions within a class.
+func (s *Scheduler) dispatchLocked() {
+	for s.inflight < s.limit {
+		w := s.nextLocked()
+		if w == nil {
+			return
+		}
+		w.granted = true
+		s.admitLocked(w.class)
+		close(w.ready)
+	}
+}
+
+// nextLocked pops the next waiter in scheduling order, or nil.
+func (s *Scheduler) nextLocked() *waiter {
+	for ci := range s.classes {
+		cq := &s.classes[ci]
+		if cq.waiting == 0 {
+			continue
+		}
+		for range cq.ring { // at most one full ring scan finds the waiter
+			sq := cq.ring[cq.cursor]
+			if sq.credit <= 0 {
+				sq.credit = sq.weight
+			}
+			if len(sq.items) == 0 {
+				// Defensive: empty sessions are dropped eagerly, but keep
+				// the scan robust if one slips through.
+				s.dropSessionLocked(cq, sq)
+				if len(cq.ring) == 0 {
+					break
+				}
+				continue
+			}
+			w := sq.items[0]
+			sq.items = sq.items[1:]
+			cq.waiting--
+			s.waiting--
+			gDepth.Set(int64(s.waiting))
+			sq.credit--
+			if len(sq.items) == 0 {
+				s.dropSessionLocked(cq, sq)
+			} else if sq.credit <= 0 {
+				cq.cursor = (cq.cursor + 1) % len(cq.ring)
+			}
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,537 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestClassAndSessionContext(t *testing.T) {
+	ctx := context.Background()
+	if ClassOf(ctx) != Interactive {
+		t.Fatal("untagged context should default to Interactive")
+	}
+	if SessionOf(ctx) != "" {
+		t.Fatal("untagged context should have empty session")
+	}
+	ctx = WithClass(ctx, Background)
+	ctx = WithSession(ctx, "u1")
+	if ClassOf(ctx) != Background || SessionOf(ctx) != "u1" {
+		t.Fatalf("got class=%v session=%q", ClassOf(ctx), SessionOf(ctx))
+	}
+	// Ensure* must not overwrite an existing tag.
+	ctx = EnsureClass(ctx, Interactive)
+	ctx = EnsureSession(ctx, "u2")
+	if ClassOf(ctx) != Background || SessionOf(ctx) != "u1" {
+		t.Fatalf("Ensure overwrote tags: class=%v session=%q", ClassOf(ctx), SessionOf(ctx))
+	}
+	if EnsureClass(context.Background(), Background) == nil || ClassOf(EnsureClass(context.Background(), Background)) != Background {
+		t.Fatal("EnsureClass should tag an untagged context")
+	}
+	if Interactive.String() != "interactive" || Background.String() != "background" {
+		t.Fatalf("bad class names %q %q", Interactive.String(), Background.String())
+	}
+}
+
+func TestNilSchedulerAdmitsEverything(t *testing.T) {
+	var s *Scheduler
+	tk, err := s.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Done() // nil ticket: no-op
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil scheduler stats = %+v", st)
+	}
+	if s.Limit() != 0 {
+		t.Fatal("nil scheduler limit should be 0")
+	}
+}
+
+func TestDirectAdmitUpToLimit(t *testing.T) {
+	s := New(Config{Limit: 2})
+	t1, err := s.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Inflight != 2 || st.AdmittedInteractive != 2 {
+		t.Fatalf("stats after two admits: %+v", st)
+	}
+	t1.Done()
+	t2.Done()
+	t2.Done() // idempotent
+	if st := s.Stats(); st.Inflight != 0 || st.Completed != 2 {
+		t.Fatalf("stats after release: %+v", st)
+	}
+}
+
+func TestQueueGrantsFIFOOnRelease(t *testing.T) {
+	s := New(Config{Limit: 1})
+	first, err := s.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan int, 2)
+	var wg sync.WaitGroup
+	for i := 1; i <= 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tk, err := s.Admit(context.Background())
+			if err != nil {
+				t.Errorf("queued admit %d: %v", i, err)
+				return
+			}
+			got <- i
+			time.Sleep(5 * time.Millisecond)
+			tk.Done()
+		}(i)
+		// Order the enqueues deterministically.
+		waitUntil(t, func() bool { return s.Stats().Queued == i })
+	}
+	first.Done()
+	wg.Wait()
+	if a, b := <-got, <-got; a != 1 || b != 2 {
+		t.Fatalf("grant order %d,%d; want 1,2", a, b)
+	}
+}
+
+func TestDeadlineShedFailsFast(t *testing.T) {
+	s := New(Config{Limit: 1, DeadlineSafety: 0.85})
+	// Warm the estimator: one completed query with a known service time.
+	seedEWMA(s, 50*time.Millisecond)
+
+	hold, err := s.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Done()
+
+	// Remaining budget 10ms, estimated wait >= 100ms: shed immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = s.Admit(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("want ErrShed, got %v", err)
+	}
+	var se *ShedError
+	if !errors.As(err, &se) || se.Reason != "deadline" || se.EstWait <= 0 {
+		t.Fatalf("shed detail: %+v", se)
+	}
+	if elapsed > 5*time.Millisecond {
+		t.Fatalf("shed took %v; must fail fast, not wait", elapsed)
+	}
+	if st := s.Stats(); st.Shed != 1 || st.ShedDeadline != 1 {
+		t.Fatalf("shed stats %+v", st)
+	}
+}
+
+func TestNoDeadlineNeverDeadlineShed(t *testing.T) {
+	s := New(Config{Limit: 1})
+	seedEWMA(s, time.Hour) // absurd estimate; without a deadline it is moot
+	hold, _ := s.Admit(context.Background())
+	defer hold.Done()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tk, err := s.Admit(context.Background())
+		if err != nil {
+			t.Errorf("deadline-less admit: %v", err)
+			return
+		}
+		tk.Done()
+	}()
+	waitUntil(t, func() bool { return s.Stats().Queued == 1 })
+	hold.Done()
+	<-done
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	s := New(Config{Limit: 1, MaxQueue: 2})
+	hold, _ := s.Admit(context.Background())
+	defer hold.Done()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk, err := s.Admit(context.Background())
+			if err == nil {
+				tk.Done()
+			}
+		}()
+	}
+	waitUntil(t, func() bool { return s.Stats().Queued == 2 })
+	_, err := s.Admit(context.Background())
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("queue-full admit: want ErrShed, got %v", err)
+	}
+	var se *ShedError
+	if !errors.As(err, &se) || se.Reason != "queue-full" {
+		t.Fatalf("shed detail: %+v", se)
+	}
+	hold.Done()
+	wg.Wait()
+}
+
+func TestPerSessionQueueBound(t *testing.T) {
+	s := New(Config{Limit: 1, MaxSessionQueue: 1, MaxQueue: 100})
+	hold, _ := s.Admit(context.Background())
+	defer hold.Done()
+	chatty := WithSession(context.Background(), "chatty")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tk, err := s.Admit(chatty)
+		if err == nil {
+			tk.Done()
+		}
+	}()
+	waitUntil(t, func() bool { return s.Stats().Queued == 1 })
+	if _, err := s.Admit(chatty); !errors.Is(err, ErrShed) {
+		t.Fatalf("session bound: want ErrShed, got %v", err)
+	}
+	// A different session still queues fine.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tk, err := s.Admit(WithSession(context.Background(), "quiet"))
+		if err != nil {
+			t.Errorf("quiet session shed: %v", err)
+			return
+		}
+		tk.Done()
+	}()
+	waitUntil(t, func() bool { return s.Stats().Queued == 2 })
+	hold.Done()
+	wg.Wait()
+	<-done
+}
+
+func TestInteractiveOutranksBackground(t *testing.T) {
+	s := New(Config{Limit: 1})
+	hold, _ := s.Admit(context.Background())
+
+	order := make(chan Class, 2)
+	start := func(c Class) {
+		go func() {
+			tk, err := s.Admit(WithClass(context.Background(), c))
+			if err != nil {
+				t.Errorf("%v admit: %v", c, err)
+				return
+			}
+			order <- c
+			tk.Done()
+		}()
+	}
+	start(Background) // queued first...
+	waitUntil(t, func() bool { return s.Stats().Queued == 1 })
+	start(Interactive) // ...but interactive must be granted first
+	waitUntil(t, func() bool { return s.Stats().Queued == 2 })
+
+	hold.Done()
+	if first := <-order; first != Interactive {
+		t.Fatalf("first grant went to %v; interactive must outrank background", first)
+	}
+	<-order
+}
+
+// TestFairnessAcrossSessions pins the WFQ property the scheduler exists
+// for: with one chatty session holding a deep queue and one light session
+// holding a single query, the light query is granted on the first or
+// second dequeue, not behind the chatty backlog.
+func TestFairnessAcrossSessions(t *testing.T) {
+	s := New(Config{Limit: 1})
+	hold, _ := s.Admit(context.Background())
+
+	const chattyDepth = 8
+	order := make(chan string, chattyDepth+1)
+	var wg sync.WaitGroup
+	enqueue := func(sess string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk, err := s.Admit(WithSession(context.Background(), sess))
+			if err != nil {
+				t.Errorf("%s admit: %v", sess, err)
+				return
+			}
+			order <- sess
+			tk.Done()
+		}()
+	}
+	for i := 0; i < chattyDepth; i++ {
+		enqueue("chatty")
+		waitUntil(t, func() bool { return s.Stats().Queued == i+1 })
+	}
+	enqueue("light")
+	waitUntil(t, func() bool { return s.Stats().Queued == chattyDepth+1 })
+
+	hold.Done()
+	wg.Wait()
+	close(order)
+	var grants []string
+	for g := range order {
+		grants = append(grants, g)
+	}
+	for i, g := range grants {
+		if g == "light" {
+			if i > 1 {
+				t.Fatalf("light session granted at position %d behind the chatty backlog: %v", i, grants)
+			}
+			return
+		}
+	}
+	t.Fatalf("light session never granted: %v", grants)
+}
+
+func TestWeightedSessionsGetProportionalDequeues(t *testing.T) {
+	s := New(Config{Limit: 1, Weights: map[string]int{"heavy": 2}})
+	hold, _ := s.Admit(context.Background())
+
+	order := make(chan string, 6)
+	var wg sync.WaitGroup
+	enqueue := func(sess string, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			before := s.Stats().Queued
+			go func() {
+				defer wg.Done()
+				tk, err := s.Admit(WithSession(context.Background(), sess))
+				if err != nil {
+					t.Errorf("%s admit: %v", sess, err)
+					return
+				}
+				order <- sess
+				tk.Done()
+			}()
+			waitUntil(t, func() bool { return s.Stats().Queued == before+1 })
+		}
+	}
+	enqueue("heavy", 4)
+	enqueue("plain", 2)
+
+	hold.Done()
+	wg.Wait()
+	close(order)
+	var grants []string
+	for g := range order {
+		grants = append(grants, g)
+	}
+	// Weight 2 vs 1: the first three grants must contain two heavy and one
+	// plain (2:1 interleave), not three heavy.
+	heavy := 0
+	for _, g := range grants[:3] {
+		if g == "heavy" {
+			heavy++
+		}
+	}
+	if heavy != 2 {
+		t.Fatalf("first three grants %v: want exactly 2 heavy (weight 2:1)", grants[:3])
+	}
+}
+
+func TestCancelWhileQueuedRemovesWaiter(t *testing.T) {
+	s := New(Config{Limit: 1})
+	hold, _ := s.Admit(context.Background())
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Admit(ctx)
+		errc <- err
+	}()
+	waitUntil(t, func() bool { return s.Stats().Queued == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	waitUntil(t, func() bool { return s.Stats().Queued == 0 })
+	if st := s.Stats(); st.Canceled != 1 {
+		t.Fatalf("canceled count %d", st.Canceled)
+	}
+	hold.Done()
+	// Capacity must not have leaked: a fresh admit succeeds directly.
+	tk, err := s.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Done()
+}
+
+func TestGovernorShrinksOnLatencyGrowsOnDemand(t *testing.T) {
+	s := New(Config{Limit: 4, MinLimit: 1, MaxLimit: 8, Tolerance: 2, AdjustEvery: 1})
+	// Establish a 1ms floor.
+	for i := 0; i < 8; i++ {
+		feedService(s, time.Millisecond)
+	}
+	if got := s.Limit(); got != 4 {
+		t.Fatalf("healthy latency moved the limit to %d", got)
+	}
+	// Latency inflates 10x: the limit must back off toward MinLimit.
+	for i := 0; i < 32; i++ {
+		feedService(s, 10*time.Millisecond)
+	}
+	if got := s.Limit(); got >= 4 {
+		t.Fatalf("limit %d did not shrink under 10x latency inflation", got)
+	}
+	// Latency recovers and demand queues: the limit must grow again.
+	hold := make([]*Ticket, 0, 8)
+	for s.Stats().Inflight < s.Stats().Limit {
+		tk, err := s.Admit(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hold = append(hold, tk)
+	}
+	queued := make(chan *Ticket, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk, err := s.Admit(context.Background())
+			if err == nil {
+				queued <- tk
+			}
+		}()
+	}
+	waitUntil(t, func() bool { return s.Stats().Queued == 4 })
+	low := s.Limit()
+	// Healthy completions with demand present raise the limit. The floor
+	// has decayed upward only slightly, so 1ms readings stay in tolerance.
+	for i := 0; i < 64; i++ {
+		feedService(s, time.Millisecond)
+	}
+	if got := s.Limit(); got <= low {
+		t.Fatalf("limit %d did not grow from %d with healthy latency and queued demand", got, low)
+	}
+	for _, tk := range hold {
+		tk.Done()
+	}
+	wg.Wait()
+	close(queued)
+	for tk := range queued {
+		tk.Done()
+	}
+}
+
+// TestAdmitReleaseStress hammers the scheduler from many goroutines with
+// random cancellations and verifies no capacity is leaked: afterwards the
+// scheduler is empty and admits directly.
+func TestAdmitReleaseStress(t *testing.T) {
+	s := New(Config{Limit: 3, MaxQueue: 64, MaxSessionQueue: 64})
+	var wg sync.WaitGroup
+	var admitted, shed, canceled atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				ctx := WithSession(context.Background(), fmt.Sprintf("s%d", g%4))
+				if g%2 == 1 {
+					ctx = WithClass(ctx, Background)
+				}
+				var cancel context.CancelFunc
+				if rng.Intn(4) == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(200))*time.Microsecond)
+				}
+				tk, err := s.Admit(ctx)
+				switch {
+				case err == nil:
+					admitted.Add(1)
+					if rng.Intn(8) == 0 {
+						time.Sleep(time.Duration(rng.Intn(100)) * time.Microsecond)
+					}
+					tk.Done()
+				case errors.Is(err, ErrShed):
+					shed.Add(1)
+				default:
+					canceled.Add(1)
+				}
+				if cancel != nil {
+					cancel()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Fatalf("leaked capacity: %+v", st)
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("stress admitted nothing")
+	}
+	tk, err := s.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("post-stress admit: %v", err)
+	}
+	tk.Done()
+	t.Logf("admitted=%d shed=%d canceled=%d", admitted.Load(), shed.Load(), canceled.Load())
+}
+
+func TestShedErrorMessage(t *testing.T) {
+	e := &ShedError{Reason: "deadline", EstWait: time.Second, Budget: time.Millisecond}
+	if e.Error() == "" || !errors.Is(e, ErrShed) {
+		t.Fatalf("bad ShedError: %v", e)
+	}
+	f := &ShedError{Reason: "queue-full"}
+	if f.Error() == "" || !errors.Is(f, ErrShed) {
+		t.Fatalf("bad ShedError: %v", f)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Limit != 4 || c.MinLimit != 1 || c.MaxLimit != 8 || c.MaxQueue != 128 ||
+		c.MaxSessionQueue != 16 || c.DeadlineSafety != 0.85 || c.Tolerance != 2.0 || c.AdjustEvery != 8 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	c = Config{MinLimit: 6, MaxLimit: 2}.withDefaults()
+	if c.MaxLimit < c.MinLimit {
+		t.Fatalf("MaxLimit %d below MinLimit %d", c.MaxLimit, c.MinLimit)
+	}
+}
+
+// seedEWMA primes the service-time estimator with one synthetic completion.
+func seedEWMA(s *Scheduler, d time.Duration) {
+	s.mu.Lock()
+	s.inflight++
+	s.mu.Unlock()
+	s.finish(d, true)
+}
+
+// feedService runs one admit/done cycle reporting a fixed service time
+// without actually sleeping (the estimator trusts the Done measurement
+// path, so tests feed finish directly).
+func feedService(s *Scheduler, d time.Duration) {
+	s.mu.Lock()
+	s.inflight++
+	s.mu.Unlock()
+	s.finish(d, true)
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}

@@ -7,7 +7,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="$(go run ./cmd/loadsim -users 2 -interactions 1 -rows 5000 -latency 1ms -metrics json)"
+out="$(go run ./cmd/loadsim -users 2 -interactions 1 -rows 5000 -latency 1ms -sched -metrics json)"
 # The JSON dump follows the human-readable report; it starts at the first
 # line holding a lone "{".
 metrics_json="$(awk 'f||/^\{$/{f=1;print}' <<<"$out")"
@@ -15,11 +15,13 @@ if [[ -z "$metrics_json" ]]; then
     echo "metrics smoke FAILED: no JSON object in loadsim -metrics json output" >&2
     exit 1
 fi
-for key in '"remote.roundtrip.ns"' '"pool.acquire.wait.ns"' '"core.batch.size"' '"cache.literal.hits"' \
+for key in '"remote.roundtrip.ns"' '"pool.acquire.wait.ns"' '"pool.acquire.total.ns"' \
+           '"core.batch.size"' '"cache.literal.hits"' \
            '"cache.singleflight.leader"' '"cache.singleflight.shared"' \
            '"cache.literal.evict_sampled"' '"cache.intelligent.evict_sampled"' \
            '"cache.distributed.errors"' '"cache.stale_served"' \
-           '"resilience.retry.attempts"' '"resilience.breaker.fast_fails"'; do
+           '"resilience.retry.attempts"' '"resilience.breaker.fast_fails"' \
+           '"sched.admitted"' '"sched.inflight"' '"sched.limit"' '"sched.service.ns"'; do
     if ! grep -q "$key" <<<"$metrics_json"; then
         echo "metrics smoke FAILED: $key missing from loadsim -metrics json output" >&2
         exit 1
@@ -40,6 +42,19 @@ v = c.get("cache.singleflight.leader", 0)
 sys.exit(0 if v > 0 else 1)
 ' <<<"$metrics_json" 2>/dev/null; then
     echo "metrics smoke FAILED: cache.singleflight.leader never incremented" >&2
+    exit 1
+fi
+# With -sched, every remote execution passes through admission control, so
+# the admitted counter must be non-zero — a zero means the scheduler is
+# wired up but silently bypassed.
+if ! python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+c = m.get("counters", m)
+v = c.get("sched.admitted", 0)
+sys.exit(0 if v > 0 else 1)
+' <<<"$metrics_json" 2>/dev/null; then
+    echo "metrics smoke FAILED: sched.admitted never incremented" >&2
     exit 1
 fi
 echo "metrics smoke OK"
