@@ -7,8 +7,8 @@
 //
 // Usage:
 //
-//	loadsim [-users 20] [-interactions 3] [-latency 5ms] [-rows 100000]
-//	        [-trace] [-metrics text|json]
+//	loadsim [-users 20] [-sessions 0] [-interactions 3] [-latency 5ms]
+//	        [-rows 100000] [-trace] [-metrics text|json]
 //	        [-outage start:dur] [-resilient] [-timeout 2s]
 //	        [-arrival 0] [-think 0] [-sched]
 //
@@ -25,6 +25,14 @@
 // system is keeping up — the regime where overload actually happens —
 // pausing -think between interactions. Add -sched to put the admission
 // controller in front of the pool and report its counters.
+//
+// -users is the number of distinct simulated users; -sessions is the
+// total number of dashboard sessions, distributed round-robin across the
+// users (0 = one session per user). With -sched, the admission
+// controller fair-queues hierarchically: across users first, then across
+// each user's sessions — so `-users 3 -sessions 12` gives one greedy
+// user no more than a third of the source no matter how many of the 12
+// sessions are theirs.
 package main
 
 import (
@@ -54,7 +62,8 @@ import (
 )
 
 func main() {
-	users := flag.Int("users", 20, "number of user sessions")
+	users := flag.Int("users", 20, "number of distinct simulated users")
+	sessionsFlag := flag.Int("sessions", 0, "total dashboard sessions, spread round-robin across users (0 = one per user)")
 	interactions := flag.Int("interactions", 3, "interactions per user after the initial load")
 	latency := flag.Duration("latency", 5*time.Millisecond, "remote request latency")
 	rows := flag.Int("rows", 100_000, "backend fact rows")
@@ -70,6 +79,13 @@ func main() {
 	flag.Parse()
 	if *metrics != "" && *metrics != "text" && *metrics != "json" {
 		log.Fatalf("loadsim: -metrics must be text or json, got %q", *metrics)
+	}
+	if *users <= 0 {
+		log.Fatalf("loadsim: -users must be positive, got %d", *users)
+	}
+	sessions := *sessionsFlag
+	if sessions <= 0 {
+		sessions = *users
 	}
 	var outageStart, outageDur time.Duration
 	if *outageSpec != "" {
@@ -149,13 +165,16 @@ func main() {
 				}),
 				time.AfterFunc(outageStart+outageDur, proxy.Heal))
 		}
-		renderCtx := func(user int) (context.Context, context.CancelFunc) {
+		renderCtx := func(sess int) (context.Context, context.CancelFunc) {
 			ctx := context.Background()
 			if sc != nil {
-				// Dashboard renders are interactive traffic; the session key
-				// gives the scheduler's fair queue a per-user identity.
+				// Dashboard renders are interactive traffic. Sessions are
+				// distributed round-robin across the simulated users, and the
+				// scheduler fair-queues users first, sessions within a user
+				// second.
 				ctx = sched.WithClass(ctx, sched.Interactive)
-				ctx = sched.WithSession(ctx, fmt.Sprintf("user-%d", user))
+				ctx = sched.WithUser(ctx, fmt.Sprintf("user-%d", sess%*users))
+				ctx = sched.WithSession(ctx, fmt.Sprintf("sess-%d", sess))
 			}
 			if proxy == nil && *arrival == 0 {
 				return ctx, func() {}
@@ -231,7 +250,7 @@ func main() {
 			// variable, exactly what admission control exists to survive.
 			interval := time.Duration(float64(time.Second) / *arrival)
 			var wg sync.WaitGroup
-			for u := 0; u < *users; u++ {
+			for u := 0; u < sessions; u++ {
 				wg.Add(1)
 				go func(u int) {
 					defer wg.Done()
@@ -242,7 +261,7 @@ func main() {
 			wg.Wait()
 		} else {
 			rng := rand.New(rand.NewSource(*seed))
-			for u := 0; u < *users; u++ {
+			for u := 0; u < sessions; u++ {
 				runUser(u, rng)
 			}
 		}
@@ -255,7 +274,7 @@ func main() {
 		wall := time.Since(start)
 		backend := srv.Stats().Queries - backendBefore
 		st := proc.Stats()
-		fmt.Printf("%s  users=%d interactions=%d", mode, *users, *interactions)
+		fmt.Printf("%s  users=%d sessions=%d interactions=%d", mode, *users, sessions, *interactions)
 		if *arrival > 0 {
 			fmt.Printf(" arrival=%.1f/s think=%v", *arrival, *think)
 		}
@@ -278,9 +297,9 @@ func main() {
 		}
 		if sc != nil {
 			sst := sc.Stats()
-			fmt.Printf("  scheduler     admitted=%d/%d (interactive/background) shed=%d (%d deadline, %d queue-full) limit=%d shedRenders=%d\n",
-				sst.AdmittedInteractive, sst.AdmittedBackground,
-				sst.Shed, sst.ShedDeadline, sst.ShedQueueFull, sst.Limit, shedCount)
+			fmt.Printf("  scheduler     admitted=%d/%d (interactive/background, %d direct) shed=%d (%d deadline, %d queue-full of which %d user-quota) limit=%d shedRenders=%d\n",
+				sst.AdmittedInteractive, sst.AdmittedBackground, sst.AdmittedDirect,
+				sst.Shed, sst.ShedDeadline, sst.ShedQueueFull, sst.ShedUserQueueFull, sst.Limit, shedCount)
 		}
 		fmt.Println()
 		if *trace {

@@ -15,7 +15,12 @@ import (
 //     that key blocks on a done channel that never closes;
 //   - breaker probe slots: allow() admitting a half-open probe must be
 //     balanced by releaseProbe, RecordSuccess or RecordFailure — the
-//     PR 4 probe-leak class, promoted from a one-off fix to a check.
+//     PR 4 probe-leak class, promoted from a one-off fix to a check;
+//   - scheduler queue entries: a waiter enqueued under the fair-queuing
+//     rings (enqueueLocked) must be dequeued by the grant path (waiting
+//     on its ready channel counts as the hand-off) or removed again
+//     (removeLocked) — a forgotten entry eats a WRR turn forever and a
+//     slot granted to it vanishes.
 //
 // It also flags discarding the probe result of allow() outright
 // (`ok, _ := b.allow()`): a caller that cannot see it held a probe slot
@@ -25,6 +30,7 @@ func checkRelease(pkg *pkgInfo, fi *fileInfo) []Finding {
 	out = append(out, runReleaseCheck(pkg, fi, poolSpec)...)
 	out = append(out, runReleaseCheck(pkg, fi, flightSpec)...)
 	out = append(out, runReleaseCheck(pkg, fi, probeSpec)...)
+	out = append(out, runReleaseCheck(pkg, fi, schedSpec)...)
 	out = append(out, checkProbeDiscard(pkg, fi)...)
 	return out
 }
@@ -202,6 +208,60 @@ func probeRelease(call *ast.CallExpr, st flowState) []string {
 	var names []string
 	for name := range st {
 		names = append(names, name)
+	}
+	return names
+}
+
+// --- scheduler queue entries ---------------------------------------------
+
+var schedSpec = &resourceSpec{
+	check:   "release",
+	acquire: schedAcquire,
+	release: schedRelease,
+	leakReturn: func(name string) string {
+		return fmt.Sprintf("return path leaves waiter %s enqueued (missing removeLocked; the ring keeps a dead entry and a granted slot can vanish)", name)
+	},
+	leakExit: func(name string) string {
+		return fmt.Sprintf("waiter %s is never dequeued or removed on the fall-through path (the ring keeps a dead entry)", name)
+	},
+}
+
+// schedAcquire recognizes `w := s.enqueueLocked(...)`. Waiting on the
+// waiter afterwards (`<-w.ready`) mentions the token and counts as the
+// hand-off to the grant path, so only paths that abandon the waiter
+// without ever touching it again are findings.
+func schedAcquire(as *ast.AssignStmt) *acquired {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "enqueueLocked" {
+		return nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return &acquired{name: id.Name}
+}
+
+// schedRelease recognizes `s.removeLocked(..., w)` for a tracked w.
+func schedRelease(call *ast.CallExpr, st flowState) []string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "removeLocked" {
+		return nil
+	}
+	var names []string
+	for _, a := range call.Args {
+		if id, ok := a.(*ast.Ident); ok {
+			if _, tracked := st[id.Name]; tracked {
+				names = append(names, id.Name)
+			}
+		}
 	}
 	return names
 }

@@ -88,3 +88,22 @@ func (b *probeBreaker) DiscardedProbe() bool {
 	ok, _ := b.allow()
 	return ok
 }
+
+type qwaiter struct{ ready chan struct{} }
+
+type qsched struct{}
+
+func (s *qsched) enqueueLocked(class int, user, sess string) *qwaiter   { return &qwaiter{} }
+func (s *qsched) removeLocked(class int, user, sess string, w *qwaiter) {}
+
+// EnqueueForgetsRemove queues a waiter and bails on the shed path without
+// dropping it from the ring: the dead entry eats a WRR turn forever and
+// the next grant aimed at it vanishes. (1 finding)
+func (s *qsched) EnqueueForgetsRemove(class int, user, sess string, shed bool) error {
+	w := s.enqueueLocked(class, user, sess)
+	if shed {
+		return errFixture
+	}
+	s.removeLocked(class, user, sess, w)
+	return nil
+}

@@ -81,3 +81,24 @@ func (b *gbreaker) ProbeSettled(attempt func() error) error {
 	}
 	return nil
 }
+
+type gwaiter struct{ ready chan struct{} }
+
+type gsched struct{}
+
+func (s *gsched) enqueueLocked(class int, user, sess string) *gwaiter   { return &gwaiter{} }
+func (s *gsched) removeLocked(class int, user, sess string, w *gwaiter) {}
+
+// WaitOrRemove mirrors the Admit protocol: the grant path hands the
+// waiter off by waiting on its ready channel, and the cancel path takes
+// it back out of the ring.
+func (s *gsched) WaitOrRemove(ctx context.Context, class int, user, sess string) error {
+	w := s.enqueueLocked(class, user, sess)
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.removeLocked(class, user, sess, w)
+		return ctx.Err()
+	}
+}

@@ -209,10 +209,10 @@ func TestAtomicsSilentOnGoodCode(t *testing.T) {
 func TestReleaseFiresOnBadCode(t *testing.T) {
 	findings := lintFixture(t, "release_bad.go", "vizq/internal/fixture")
 	// LeakOnEarlyReturn, LeakOnFallThrough, LeaderForgetsDelete,
-	// ProbeLeakOnEarlyReturn, and DiscardedProbe.
-	if got := countCheck(findings, "release"); got != 5 {
+	// ProbeLeakOnEarlyReturn, DiscardedProbe, and EnqueueForgetsRemove.
+	if got := countCheck(findings, "release"); got != 6 {
 		dump(t, findings)
-		t.Errorf("release findings = %d, want 5", got)
+		t.Errorf("release findings = %d, want 6", got)
 	}
 }
 

@@ -74,9 +74,10 @@ type Options struct {
 	// the pipeline fall back to expired cache entries during outages.
 	Resilience *resilience.Config
 	// Scheduler, when non-nil, admission-controls every remote execution:
-	// queries queue under their context's class and session, and may be
-	// shed with sched.ErrShed under overload. Cache hits bypass it — they
-	// consume no backend capacity. A shed never reaches the circuit
+	// queries queue under their context's class, user and session
+	// (hierarchical fair queuing — see sched.WithUser/WithSession), and
+	// may be shed with sched.ErrShed under overload. Cache hits bypass it
+	// — they consume no backend capacity. A shed never reaches the circuit
 	// breaker (it is refused before the resilience layer runs), but it
 	// qualifies for the stale-on-error degraded read like an outage does.
 	Scheduler *sched.Scheduler

@@ -177,3 +177,60 @@ func TestSchedulerAdmitsThroughSingleFlight(t *testing.T) {
 		t.Fatalf("leaked admission slots: %+v", st)
 	}
 }
+
+// TestUserQuotaThroughPipeline pins that the context's user identity
+// survives the whole Execute path into admission control: a user over
+// their per-user queue bound is shed by the pipeline with ErrShed while
+// another user's queries still queue, regardless of session ids.
+func TestUserQuotaThroughPipeline(t *testing.T) {
+	srv := startBackend(t, remote.Config{})
+	opt := DefaultOptions()
+	opt.DisableIntelligentCache = true
+	opt.DisableLiteralCache = true
+	opt.DisableSingleFlight = true
+	p, sc := newSchedProcessor(t, srv, opt, cache.DefaultOptions(),
+		sched.Config{Limit: 1, MinLimit: 1, MaxLimit: 1, MaxUserQueue: 1, MaxQueue: 100, MaxSessionQueue: 100})
+
+	hold, err := sc.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged := func(user, sess string) context.Context {
+		return sched.WithSession(sched.WithUser(context.Background(), user), sess)
+	}
+	waitQueued := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for sc.Stats().Queued != n {
+			if time.Now().After(deadline) {
+				t.Fatalf("queue depth never reached %d: %+v", n, sc.Stats())
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	done := make(chan error, 2)
+	go func() {
+		_, err := p.Execute(tagged("alice", "s1"), carrierCounts())
+		done <- err
+	}()
+	waitQueued(1)
+
+	// alice from a second session: over her user quota, shed by Execute.
+	if _, err := p.Execute(tagged("alice", "s2"), carrierCounts()); !errors.Is(err, sched.ErrShed) {
+		t.Fatalf("over-quota user not shed through the pipeline: %v", err)
+	}
+	// bob is not affected by alice's quota.
+	go func() {
+		_, err := p.Execute(tagged("bob", "s1"), carrierCounts())
+		done <- err
+	}()
+	waitQueued(2)
+
+	hold.Done()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("queued query failed: %v", err)
+		}
+	}
+}

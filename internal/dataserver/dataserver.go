@@ -80,10 +80,11 @@ type Config struct {
 	// sources may override it via PublishedSource.Resilience.
 	Resilience *resilience.Config
 	// Scheduler, when set, places an admission controller in front of
-	// every published source: client queries run as Interactive under a
-	// per-connection fair-queuing session, extract refreshes as
-	// Background, and overload is shed with sched.ErrShed instead of
-	// queuing into slow timeouts. Individual sources may override it via
+	// every published source: client queries run as Interactive, fair-
+	// queued hierarchically — per authenticated user, then per client
+	// connection within the user — extract refreshes as Background, and
+	// overload is shed with sched.ErrShed instead of queuing into slow
+	// timeouts. Individual sources may override it via
 	// PublishedSource.Scheduler.
 	Scheduler *sched.Config
 }
@@ -378,8 +379,11 @@ func (c *ClientConn) Query(ctx context.Context, q *query.Query) (*exec.Result, e
 	c.srv.mu.Unlock()
 	cDSQueries.Inc()
 	// Client queries are someone waiting on a spinner: Interactive unless
-	// the caller tagged otherwise, fair-queued per client connection.
+	// the caller tagged otherwise, fair-queued per user and, within the
+	// user, per client connection — so a user's share of the source is the
+	// same whether they hold one connection or ten.
 	ctx = sched.EnsureClass(ctx, sched.Interactive)
+	ctx = sched.EnsureUser(ctx, c.user)
 	ctx = sched.EnsureSession(ctx, c.id)
 	ctx, sp := obs.StartSpan(ctx, obs.SpanDSQuery)
 	defer sp.Finish()

@@ -18,6 +18,10 @@ import (
 // "refreshing a single extract daily — rather than all copies of it —
 // significantly reduces the query load on the underlying database."
 
+// systemUser is the fair-queuing identity maintenance traffic (extract
+// pulls and refreshes) runs under.
+const systemUser = "$system"
+
 // extractState tracks one extracted source.
 type extractState struct {
 	liveBackend string
@@ -39,9 +43,12 @@ func (s *Server) PublishExtract(src *PublishedSource) error {
 		tables = append(tables, j.Table)
 	}
 	localEng := engine.New(storage.NewDatabase("extract:" + src.Name))
-	// Extract pulls are maintenance traffic: Background class, so a live
-	// source sharing the backend never starves dashboards for a snapshot.
+	// Extract pulls are maintenance traffic: Background class under the
+	// server's system identity, so a live source sharing the backend never
+	// starves dashboards for a snapshot and refresh traffic shares one
+	// user-level queue no matter how many extracts pull at once.
 	ctx := sched.WithClass(context.Background(), sched.Background)
+	ctx = sched.WithUser(ctx, systemUser)
 	if err := pullTables(ctx, live, localEng, tables); err != nil {
 		return err
 	}
@@ -84,6 +91,7 @@ func (s *Server) RefreshExtract(name string) error {
 		_ = st.localEng.Database().DropTable("Extract", t)
 	}
 	ctx := sched.WithClass(context.Background(), sched.Background)
+	ctx = sched.WithUser(ctx, systemUser)
 	if err := pullTables(ctx, st.liveBackend, st.localEng, st.tables); err != nil {
 		return err
 	}

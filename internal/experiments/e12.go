@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vizq/internal/cache"
+	"vizq/internal/connection"
+	"vizq/internal/core"
+	"vizq/internal/query"
+	"vizq/internal/remote"
+	"vizq/internal/sched"
+	"vizq/internal/tde/storage"
+)
+
+// E12UserFairness measures what one greedy user costs everyone else. The
+// Data Server exists because many users share one server process
+// (Sect. 5); fair queuing by *session* alone lets a user multiply their
+// share by opening dashboards — with 8 sessions against three
+// single-session users, flat session WRR hands the greedy user 8 of
+// every 11 dequeues and the victims' latency degrades ~(8+V)/V-fold.
+// Hierarchical user → session fair queuing pins every user to one share:
+// the greedy user's 8 sessions split ONE turn, and a single-session
+// user's latency stays within ~(1+V)/V of running uncontended.
+func E12UserFairness(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "E12",
+		Title: "greedy user with 8 sessions vs 3 single-session users",
+		Claim: "user-level fair queuing holds a single-session user's p99 near uncontended while flat session WRR degrades it with every session the greedy user opens",
+		Header: []string{"mode", "victim renders", "render p50 ms", "render p99 ms",
+			"p99 vs uncontended", "greedy completed"},
+	}
+
+	// All three arms run concurrently — each with its own simulated
+	// backend, pool, and scheduler — and the victims' lockstep rounds
+	// alternate between them. Interleaving means any host-level slowdown
+	// (CPU contention, GC, a noisy neighbour) lands on every arm's
+	// measurements equally instead of skewing whichever arm happened to
+	// own that time window, so the cross-arm latency RATIOS stay stable.
+	arms := make([]*fairnessArm, 0, 3)
+	defer func() {
+		for _, a := range arms {
+			a.close()
+		}
+	}()
+	for _, mode := range []fairnessMode{armBaseline, armFlat, armUser} {
+		a, err := setupFairnessArm(s, mode)
+		if err != nil {
+			return nil, err
+		}
+		arms = append(arms, a)
+	}
+
+	// Victims: three single-session users rendering in lockstep rounds —
+	// each round, every victim issues one dashboard render (its zone
+	// queries, concurrently, into its session queue) at the same instant,
+	// and the next round starts when all three renders complete, so every
+	// arm (including the uncontended baseline) measures the same
+	// three-way victim workload. The measured unit is the render: per WRR
+	// pass the greedy user adds a fixed number of dequeues ahead of the
+	// victims (1 hierarchical, 8 flat), so render latency scales with the
+	// active queue count and in-flight residuals amortize across the
+	// render. Renders are collected in 3 independent blocks and the
+	// reported p50/p99 are the MEDIAN across blocks: a host stall lands
+	// in one block and is rejected, while genuine queueing delay —
+	// present in every block — survives.
+	// The "vs uncontended" column is PAIRED: each round's median contended
+	// render is divided by the SAME round's median uncontended render, so
+	// a slow patch on the host inflates numerator and denominator together
+	// and falls out of the ratio, and the median-of-three absorbs a
+	// single render spiked by the OS scheduler. The per-arm ms columns
+	// stay absolute.
+	const blocks = 3
+	blockRounds := 2 + 2*s.Repeat
+	for r := 0; r < 2+blocks*blockRounds; r++ {
+		var baseRound []time.Duration
+		for i, a := range arms {
+			lats := a.victimRound()
+			if r < 2 { // rounds 0-1 warm the pools and estimator
+				continue
+			}
+			sort.Slice(lats, func(x, y int) bool { return lats[x] < lats[y] })
+			if i == 0 {
+				if len(lats) == 0 {
+					break // no uncontended floor this round; skip it whole
+				}
+				baseRound = lats
+			}
+			b := (r - 2) / blockRounds
+			a.blockLat[b] = append(a.blockLat[b], lats...)
+			if i > 0 && len(lats) > 0 {
+				a.blockRatio[b] = append(a.blockRatio[b],
+					float64(lats[len(lats)/2])/float64(baseRound[len(baseRound)/2]))
+			}
+		}
+	}
+
+	for i, a := range arms {
+		a.stopGreedy()
+		a.greedyWG.Wait()
+		var p50s, p99s []time.Duration
+		var r99s []float64
+		for b, lat := range a.blockLat {
+			if len(lat) == 0 {
+				return nil, fmt.Errorf("e12 %s: a measurement block completed no renders", a.mode)
+			}
+			a.victimQueries += len(lat)
+			sort.Slice(lat, func(x, y int) bool { return lat[x] < lat[y] })
+			p50s = append(p50s, lat[len(lat)/2])
+			p99s = append(p99s, lat[len(lat)*99/100])
+			if i > 0 {
+				rs := a.blockRatio[b]
+				sort.Float64s(rs)
+				r99s = append(r99s, rs[len(rs)*99/100])
+			}
+		}
+		sort.Slice(p50s, func(x, y int) bool { return p50s[x] < p50s[y] })
+		sort.Slice(p99s, func(x, y int) bool { return p99s[x] < p99s[y] })
+		a.p50 = p50s[len(p50s)/2]
+		a.p99 = p99s[len(p99s)/2]
+
+		ratio := "-"
+		if i > 0 {
+			sort.Float64s(r99s)
+			ratio = fmt.Sprintf("%.2fx", r99s[len(r99s)/2])
+		}
+		t.Rows = append(t.Rows, []string{a.mode, fmt.Sprint(a.victimQueries),
+			ms(a.p50), ms(a.p99), ratio, fmt.Sprint(a.greedyDone.Load())})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("3 victims render (%d zone queries each) in lockstep rounds; the greedy user keeps %d closed-loop queries outstanding across %d sessions",
+			e12RenderZones, e12GreedySessions*e12WorkersPerSess, e12GreedySessions),
+		"flat session WRR = every session is its own fair-queuing principal (the pre-hierarchy behavior, emulated by tagging each greedy session as a distinct user)",
+		"arms run concurrently on separate backends and rounds alternate between them; 'p99 vs uncontended' divides each round's median render by the same round's uncontended median (then p99 per block, median across 3 blocks), so host-level noise cancels out of the ratio",
+		"scheduler Limit=pool Max=2 pinned, caches and single-flight disabled so every render reaches admission",
+		"share math: per WRR pass the victims take 3 dequeues and the greedy user takes 1 (hierarchical) or 8 (flat), so render cost scales (3+1)/3 = 1.3x and (3+8)/3 = 3.7x the uncontended floor")
+	return t, nil
+}
+
+type fairnessMode int
+
+const (
+	armBaseline fairnessMode = iota // victims only: the uncontended floor
+	armFlat                         // greedy present, per-session principals
+	armUser                         // greedy present, hierarchical user WRR
+)
+
+type fairnessArm struct {
+	mode          string
+	p             *core.Processor
+	distinct      func() *query.Query
+	close         func()
+	stopGreedy    context.CancelFunc
+	greedyWG      sync.WaitGroup
+	greedyDone    atomic.Int64
+	blockLat      [][]time.Duration
+	blockRatio    [][]float64
+	victimQueries int
+	p50, p99      time.Duration
+}
+
+const (
+	e12Victims        = 3
+	e12GreedySessions = 8
+	e12WorkersPerSess = 2
+	e12RenderZones    = 8 // concurrent zone queries per victim render
+)
+
+// setupFairnessArm builds one arm's stack — simulated backend, 2-conn
+// pool, pinned scheduler — and, for the contended arms, starts the greedy
+// user's closed-loop sessions and waits for their backlog to establish.
+func setupFairnessArm(s Scale, mode fairnessMode) (*fairnessArm, error) {
+	// Service time must be dominated by the deterministic simulated wire
+	// latency, not scan CPU, so the fair-share ratios are stable on any
+	// host: modest rows, a latency floor.
+	rows := s.RemoteRows
+	if rows > 256 {
+		rows = 256
+	}
+	lat := s.Latency
+	if lat < 4*time.Millisecond {
+		lat = 4 * time.Millisecond
+	}
+	srv, err := startRemote(rows, remote.Config{Latency: lat})
+	if err != nil {
+		return nil, err
+	}
+	pool := connection.NewPool(srv.Addr(), connection.PoolConfig{Max: 2})
+
+	opt := core.DefaultOptions()
+	opt.DisableIntelligentCache = true
+	opt.DisableLiteralCache = true
+	opt.DisableSingleFlight = true
+	// Limit pinned to the pool size (as in E11): the experiment measures
+	// queue discipline, not the governor.
+	sc := sched.New(sched.Config{Limit: 2, MinLimit: 2, MaxLimit: 2})
+	opt.Scheduler = sc
+	p := core.NewProcessor(pool, cache.NewIntelligentCache(cache.DefaultOptions()),
+		cache.NewLiteralCache(cache.DefaultOptions()), opt)
+
+	var qseq atomic.Int64
+	greedyCtx, stopGreedy := context.WithCancel(context.Background())
+	arm := &fairnessArm{
+		p:          p,
+		stopGreedy: stopGreedy,
+		blockLat:   make([][]time.Duration, 3),
+		blockRatio: make([][]float64, 3),
+		distinct: func() *query.Query {
+			// Distinct per arrival so nothing short-circuits the pipeline.
+			return &query.Query{
+				DataSource: "flights",
+				View:       query.View{Table: "flights"},
+				Dims:       []query.Dim{{Col: "carrier"}},
+				Measures:   []query.Measure{{Fn: query.Count, As: "n"}},
+				Filters:    []query.Filter{query.GtFilter("distance", storage.IntValue(100+qseq.Add(1)))},
+			}
+		},
+		close: func() {
+			stopGreedy()
+			pool.Close()
+			srv.Close()
+		},
+	}
+	switch mode {
+	case armBaseline:
+		arm.mode = "uncontended (victims only)"
+	case armFlat:
+		arm.mode = "flat session WRR"
+	case armUser:
+		arm.mode = "user-level WRR"
+	}
+	if mode == armBaseline {
+		return arm, nil
+	}
+	// The greedy user: 8 sessions, 2 closed-loop workers each, so every
+	// greedy session holds a queued query at all times. Under armFlat
+	// each session is tagged as its own user — exactly the share the
+	// old flat scheduler handed out; under armUser all 8 share one.
+	for sess := 0; sess < e12GreedySessions; sess++ {
+		user := "greedy"
+		if mode == armFlat {
+			user = fmt.Sprintf("greedy-s%d", sess)
+		}
+		ctx := sched.WithUser(greedyCtx, user)
+		ctx = sched.WithSession(ctx, fmt.Sprintf("g%d", sess))
+		for w := 0; w < e12WorkersPerSess; w++ {
+			arm.greedyWG.Add(1)
+			go func(ctx context.Context) {
+				defer arm.greedyWG.Done()
+				for ctx.Err() == nil {
+					if _, err := p.Execute(ctx, arm.distinct()); err == nil {
+						arm.greedyDone.Add(1)
+					}
+				}
+			}(ctx)
+		}
+	}
+	// Let the greedy backlog establish before measuring: every slot
+	// taken and a deep queue behind it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := sc.Stats()
+		if st.Queued >= e12GreedySessions {
+			break
+		}
+		if time.Now().After(deadline) {
+			arm.close()
+			arm.greedyWG.Wait()
+			return nil, fmt.Errorf("e12 %s: greedy backlog never formed: %+v", arm.mode, st)
+		}
+		time.Sleep(200 * time.Microsecond) //vizlint:allow sleep -- polling for workload steady state
+	}
+	return arm, nil
+}
+
+// victimRound runs one lockstep round — each victim issues one render of
+// e12RenderZones concurrent zone queries — and returns the render
+// durations of the victims whose renders fully succeeded.
+func (a *fairnessArm) victimRound() []time.Duration {
+	var mu sync.Mutex
+	var lats []time.Duration
+	var wg sync.WaitGroup
+	for v := 0; v < e12Victims; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			ctx := sched.WithUser(context.Background(), fmt.Sprintf("victim-%d", v))
+			ctx = sched.WithSession(ctx, "main")
+			start := time.Now()
+			var zones sync.WaitGroup
+			var failed atomic.Bool
+			for z := 0; z < e12RenderZones; z++ {
+				zones.Add(1)
+				go func() {
+					defer zones.Done()
+					if _, err := a.p.Execute(ctx, a.distinct()); err != nil {
+						failed.Store(true)
+					}
+				}()
+			}
+			zones.Wait()
+			d := time.Since(start)
+			if failed.Load() {
+				return
+			}
+			mu.Lock()
+			lats = append(lats, d)
+			mu.Unlock()
+		}(v)
+	}
+	wg.Wait()
+	return lats
+}

@@ -126,6 +126,7 @@ func All() []Runner {
 		{"E9", "published vs embedded extracts", E9PublishedVsEmbeddedExtracts},
 		{"E10", "resilience under backend outage", E10ResilienceUnderOutage},
 		{"E11", "admission control under overload", E11AdmissionControl},
+		{"E12", "per-user fairness under a greedy user", E12UserFairness},
 	}
 }
 

@@ -147,6 +147,28 @@ func TestAllExperimentsRun(t *testing.T) {
 	if maxShed := msCell(t, onRow[7]); maxShed > 10*time.Millisecond {
 		t.Errorf("E11: slowest shed took %s ms, want a few ms at most", onRow[7])
 	}
+
+	// E12: hierarchical user WRR must hold a single-session user's renders
+	// near the uncontended floor while flat session WRR lets the greedy
+	// user's 8 sessions take 8 of every 11 dequeues. The ratio column is
+	// paired round-by-round against the uncontended arm (see the
+	// experiment's notes), so these bounds hold on a noisy host too.
+	e12 := tables["E12"]
+	baseRow, flatRow, userRow := e12.Rows[0], e12.Rows[1], e12.Rows[2]
+	if n := atoiCell(t, baseRow[1]); n == 0 {
+		t.Error("E12: uncontended arm completed no renders")
+	}
+	for _, row := range [][]string{flatRow, userRow} {
+		if n := atoiCell(t, row[5]); n == 0 {
+			t.Errorf("E12: %s arm's greedy user completed nothing", row[0])
+		}
+	}
+	if r := ratioCell(t, flatRow[4]); r < 3.0 {
+		t.Errorf("E12: flat session WRR degraded victims only %.2fx, want >= 3x", r)
+	}
+	if r := ratioCell(t, userRow[4]); r > 1.5 {
+		t.Errorf("E12: user-level WRR held victims at %.2fx uncontended, want <= 1.5x", r)
+	}
 }
 
 func atoiCell(t *testing.T, s string) int {
@@ -156,6 +178,16 @@ func atoiCell(t *testing.T, s string) int {
 		t.Fatalf("bad int cell %q", s)
 	}
 	return n
+}
+
+// ratioCell parses a "3.67x" speedup/slowdown cell.
+func ratioCell(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "x"), 64)
+	if err != nil {
+		t.Fatalf("bad ratio cell %q", s)
+	}
+	return f
 }
 
 func msCell(t *testing.T, s string) time.Duration {
@@ -182,7 +214,7 @@ func TestScalePresets(t *testing.T) {
 	if TestScale().Rows >= FullScale().Rows {
 		t.Error("test scale should be smaller")
 	}
-	if len(All()) != 11 {
-		t.Errorf("experiments = %d, want 11", len(All()))
+	if len(All()) != 12 {
+		t.Errorf("experiments = %d, want 12", len(All()))
 	}
 }

@@ -1,0 +1,257 @@
+package sched
+
+// White-box tests for the dispatch machinery's edge cases: ring-cursor
+// correctness when queues empty out at or before the cursor, credit reset
+// across empty-then-refilled queues, and the defensive branches that
+// resync a ring whose waiting counts drifted. They drive the locked
+// internals directly so every scenario is deterministic, at both levels
+// of the hierarchy (session rings within a user, user rings within a
+// class).
+
+import (
+	"context"
+	"testing"
+)
+
+// enq enqueues one waiter under (user, sess) and returns it.
+func enq(s *Scheduler, user, sess string) *waiter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enqueueLocked(Interactive, user, sess)
+}
+
+// drainOrder pops waiters until the queue is empty, returning the session
+// ids (or user ids, via the label map) in grant order.
+func drainOrder(s *Scheduler, label map[*waiter]string) []string {
+	var order []string
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		w := s.nextLocked()
+		if w == nil {
+			return order
+		}
+		order = append(order, label[w])
+	}
+}
+
+func TestSessionRingCursorOnRemoval(t *testing.T) {
+	cases := []struct {
+		name     string
+		cursor   int // session-ring cursor before the removal
+		remove   string
+		wantNext []string // drain order after removing session "b"'s waiter
+	}{
+		// Ring is [a b c], one waiter each, all under one user.
+		{"remove-before-cursor", 2, "b", []string{"c", "a"}},
+		{"remove-at-cursor", 1, "b", []string{"c", "a"}},
+		{"remove-after-cursor", 0, "b", []string{"a", "c"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(Config{Limit: 1})
+			label := map[*waiter]string{}
+			ws := map[string]*waiter{}
+			for _, id := range []string{"a", "b", "c"} {
+				w := enq(s, "u", id)
+				label[w] = id
+				ws[id] = w
+			}
+			s.mu.Lock()
+			s.classes[Interactive].users["u"].cursor = tc.cursor
+			s.removeLocked(Interactive, "u", tc.remove, ws[tc.remove])
+			s.mu.Unlock()
+			got := drainOrder(s, label)
+			if len(got) != len(tc.wantNext) {
+				t.Fatalf("drain order %v, want %v", got, tc.wantNext)
+			}
+			for i := range got {
+				if got[i] != tc.wantNext[i] {
+					t.Fatalf("drain order %v, want %v", got, tc.wantNext)
+				}
+			}
+			if st := s.Stats(); st.Queued != 0 || st.QueuedUsers != 0 {
+				t.Fatalf("residual queue state: %+v", st)
+			}
+		})
+	}
+}
+
+func TestUserRingCursorOnRemoval(t *testing.T) {
+	cases := []struct {
+		name     string
+		cursor   int // class-level user-ring cursor before the removal
+		wantNext []string
+	}{
+		// Ring is [ua ub uc], one single-waiter session each; ub's waiter
+		// is canceled, emptying and dropping user ub.
+		{"drop-before-cursor", 2, []string{"uc", "ua"}},
+		{"drop-at-cursor", 1, []string{"uc", "ua"}},
+		{"drop-after-cursor", 0, []string{"ua", "uc"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(Config{Limit: 1})
+			label := map[*waiter]string{}
+			var wb *waiter
+			for _, u := range []string{"ua", "ub", "uc"} {
+				w := enq(s, u, "main")
+				label[w] = u
+				if u == "ub" {
+					wb = w
+				}
+			}
+			s.mu.Lock()
+			s.classes[Interactive].cursor = tc.cursor
+			s.removeLocked(Interactive, "ub", "main", wb)
+			s.mu.Unlock()
+			got := drainOrder(s, label)
+			if len(got) != 2 || got[0] != tc.wantNext[0] || got[1] != tc.wantNext[1] {
+				t.Fatalf("drain order %v, want %v", got, tc.wantNext)
+			}
+		})
+	}
+}
+
+// TestCreditResetAcrossRefill pins that a weighted queue which empties,
+// drops off the ring, and later refills starts a fresh turn with full
+// credit — credit must not persist (or leak) across the queue's lifetime.
+func TestCreditResetAcrossRefill(t *testing.T) {
+	t.Run("session-level", func(t *testing.T) {
+		s := New(Config{Limit: 1, Weights: map[string]int{"w": 2}})
+		label := map[*waiter]string{}
+		label[enq(s, "u", "w")] = "w"
+		label[enq(s, "u", "x")] = "x"
+		// First round: w dequeues once (1 of its 2 credits), empties, drops.
+		if got := drainOrder(s, label); len(got) != 2 || got[0] != "w" {
+			t.Fatalf("first round order %v", got)
+		}
+		// Refill: w must again get 2 consecutive dequeues before x.
+		label[enq(s, "u", "w")] = "w"
+		label[enq(s, "u", "w")] = "w"
+		label[enq(s, "u", "x")] = "x"
+		got := drainOrder(s, label)
+		want := []string{"w", "w", "x"}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("refill order %v, want %v", got, want)
+			}
+		}
+	})
+	t.Run("user-level", func(t *testing.T) {
+		s := New(Config{Limit: 1, UserWeights: map[string]int{"vip": 2}})
+		label := map[*waiter]string{}
+		label[enq(s, "vip", "m")] = "vip"
+		label[enq(s, "std", "m")] = "std"
+		if got := drainOrder(s, label); len(got) != 2 || got[0] != "vip" {
+			t.Fatalf("first round order %v", got)
+		}
+		label[enq(s, "vip", "m")] = "vip"
+		label[enq(s, "vip", "m")] = "vip"
+		label[enq(s, "std", "m")] = "std"
+		got := drainOrder(s, label)
+		want := []string{"vip", "vip", "std"}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("refill order %v, want %v", got, want)
+			}
+		}
+	})
+}
+
+// TestDefensiveEmptyBranches drives the resync paths: an empty session or
+// user that somehow survives on a ring (the invariant says it cannot, but
+// the scan must not spin or grant nil if one slips through).
+func TestDefensiveEmptyBranches(t *testing.T) {
+	t.Run("empty-session-on-ring", func(t *testing.T) {
+		s := New(Config{Limit: 1})
+		real := enq(s, "u", "real")
+		s.mu.Lock()
+		uq := s.classes[Interactive].users["u"]
+		phantom := &sessionQueue{id: "phantom", weight: 1}
+		uq.sessions["phantom"] = phantom
+		uq.ring = append([]*sessionQueue{phantom}, uq.ring...)
+		uq.cursor = 0
+		w := s.nextLocked()
+		s.mu.Unlock()
+		if w != real {
+			t.Fatal("scan did not skip the phantom empty session")
+		}
+		if st := s.Stats(); st.Queued != 0 || st.QueuedUsers != 0 {
+			t.Fatalf("residual state after resync: %+v", st)
+		}
+	})
+	t.Run("empty-user-on-ring", func(t *testing.T) {
+		s := New(Config{Limit: 1})
+		real := enq(s, "u", "main")
+		s.mu.Lock()
+		cq := &s.classes[Interactive]
+		phantom := &userQueue{id: "phantom", sessions: map[string]*sessionQueue{}, weight: 1}
+		cq.users["phantom"] = phantom
+		cq.ring = append([]*userQueue{phantom}, cq.ring...)
+		cq.cursor = 0
+		s.queuedUsers++
+		w := s.nextLocked()
+		gone := cq.users["phantom"] == nil
+		s.mu.Unlock()
+		if w != real {
+			t.Fatal("scan did not skip the phantom empty user")
+		}
+		if !gone {
+			t.Fatal("phantom user not dropped by the defensive branch")
+		}
+	})
+	t.Run("user-with-all-empty-sessions", func(t *testing.T) {
+		// waiting>0 but every session ring entry is empty: popSessionLocked
+		// returns nil and nextLocked must resync by dropping the user, then
+		// still grant the real waiter behind it.
+		s := New(Config{Limit: 1})
+		real := enq(s, "u", "main")
+		s.mu.Lock()
+		cq := &s.classes[Interactive]
+		broken := &userQueue{id: "broken", sessions: map[string]*sessionQueue{}, weight: 1, waiting: 1}
+		cq.users["broken"] = broken
+		cq.ring = append([]*userQueue{broken}, cq.ring...)
+		cq.cursor = 0
+		s.queuedUsers++
+		w := s.nextLocked()
+		gone := cq.users["broken"] == nil
+		s.mu.Unlock()
+		if w != real {
+			t.Fatal("scan did not resync past the broken user")
+		}
+		if !gone {
+			t.Fatal("broken user not dropped")
+		}
+	})
+}
+
+// TestDrainAfterEdgeCases exercises the same machinery end-to-end: after
+// cursor surgery the scheduler still grants every waiter exactly once.
+func TestDrainAfterEdgeCases(t *testing.T) {
+	s := New(Config{Limit: 1})
+	hold, _ := s.Admit(context.Background())
+	n := 6
+	got := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		ctx := WithUser(context.Background(), []string{"a", "b", "c"}[i%3])
+		before := s.Stats().Queued
+		go func() {
+			tk, err := s.Admit(ctx)
+			if err != nil {
+				t.Errorf("admit: %v", err)
+				return
+			}
+			got <- struct{}{}
+			tk.Done()
+		}()
+		waitUntil(t, func() bool { return s.Stats().Queued == before+1 })
+	}
+	hold.Done()
+	for i := 0; i < n; i++ {
+		<-got
+	}
+	if st := s.Stats(); st.Queued != 0 || st.Inflight != 0 || st.QueuedUsers != 0 {
+		t.Fatalf("residual state: %+v", st)
+	}
+}

@@ -9,14 +9,18 @@
 //
 //   - Priority classes. Queries carry a Class (Interactive vs Background)
 //     in their context; dashboard renders outrank extract refreshes.
-//   - Weighted fair queuing across sessions. Waiting queries are queued
-//     per session and dequeued class-priority-first, weighted round-robin
-//     across sessions within a class, so one chatty dashboard cannot
-//     starve the others.
+//   - Hierarchical weighted fair queuing. Waiting queries are queued per
+//     user and, within a user, per session. Dequeues go class-priority-
+//     first, weighted round-robin across *users* within a class, then
+//     weighted round-robin across the user's *sessions* — so a user's
+//     share of the source is constant no matter how many dashboards
+//     (sessions) they open, and within that share no single session can
+//     starve the user's others.
 //   - Deadline-aware load shedding. A query whose context deadline will
 //     expire before its estimated queue wait (EWMA of recent service
-//     times x queue depth ahead, divided by the concurrency limit) is
-//     rejected immediately with ErrShed instead of timing out slowly.
+//     times x the work fair queuing will serve ahead of it, divided by
+//     the concurrency limit) is rejected immediately with ErrShed instead
+//     of timing out slowly.
 //   - An adaptive concurrency governor. The in-flight limit starts at the
 //     pool's Max and adjusts around it using observed service latency:
 //     sustained latency inflation shrinks the limit, headroom with queued
@@ -42,13 +46,16 @@ var (
 	cAdmitted    = obs.C("sched.admitted")
 	cAdmittedInt = obs.C("sched.admitted.interactive")
 	cAdmittedBg  = obs.C("sched.admitted.background")
+	cAdmitDirect = obs.C("sched.admitted.direct")
 	cShed        = obs.C("sched.shed")
 	cShedFull    = obs.C("sched.shed.queue_full")
+	cShedUser    = obs.C("sched.user.shed.queue_full")
 	cQueued      = obs.C("sched.queued")
 	cCanceled    = obs.C("sched.canceled")
 	gInflight    = obs.G("sched.inflight")
 	gLimit       = obs.G("sched.limit")
 	gDepth       = obs.G("sched.queue.depth")
+	gUsers       = obs.G("sched.user.queued")
 	mWaitNS      = obs.H("sched.wait.ns")
 	mServiceNS   = obs.H("sched.service.ns")
 )
@@ -76,6 +83,7 @@ func (c Class) String() string {
 }
 
 type classKey struct{}
+type userKey struct{}
 type sessionKey struct{}
 
 // WithClass tags the context with a priority class.
@@ -99,6 +107,31 @@ func EnsureClass(ctx context.Context, c Class) context.Context {
 		return ctx
 	}
 	return WithClass(ctx, c)
+}
+
+// WithUser tags the context with a fair-queuing user identity (the human
+// behind the sessions — typically the authenticated Data Server user).
+// All of a user's sessions share one fair-queuing share.
+func WithUser(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, userKey{}, id)
+}
+
+// UserOf reads the context's user identity ("" when untagged; all
+// untagged queries share one user, which degrades gracefully to the old
+// flat per-session fairness).
+func UserOf(ctx context.Context) string {
+	if u, ok := ctx.Value(userKey{}).(string); ok {
+		return u
+	}
+	return ""
+}
+
+// EnsureUser tags the context with id only if no user is set yet.
+func EnsureUser(ctx context.Context, id string) context.Context {
+	if _, ok := ctx.Value(userKey{}).(string); ok {
+		return ctx
+	}
+	return WithUser(ctx, id)
 }
 
 // WithSession tags the context with a fair-queuing session identity
@@ -161,6 +194,10 @@ type Config struct {
 	// MaxQueue bounds the total number of waiting queries per source
 	// (default 128). Beyond it every arrival is shed.
 	MaxQueue int
+	// MaxUserQueue bounds one user's total waiting queries summed across
+	// all their sessions (default 64): a user opening ten dashboards
+	// cannot buy ten sessions' worth of queue either.
+	MaxUserQueue int
 	// MaxSessionQueue bounds one session's waiting queries (default 16):
 	// a chatty dashboard sheds before it can monopolize the queue.
 	MaxSessionQueue int
@@ -169,8 +206,13 @@ type Config struct {
 	// (default 0.85). Lower values shed earlier and keep admitted-query
 	// latency further under the deadline.
 	DeadlineSafety float64
-	// Weights maps session ids to fair-queuing weights (default 1 each):
-	// a session with weight 2 gets two dequeues per round-robin turn.
+	// UserWeights maps user ids to fair-queuing weights (default 1 each):
+	// a user with weight 2 gets two dequeues per round-robin turn across
+	// users.
+	UserWeights map[string]int
+	// Weights maps session ids to fair-queuing weights (default 1 each)
+	// applied *within* the session's user: a session with weight 2 gets
+	// two dequeues per turn of its user's session round-robin.
 	Weights map[string]int
 	// Tolerance is the governor's latency slack: the limit shrinks when
 	// the service EWMA exceeds Tolerance x the observed latency floor
@@ -197,6 +239,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 128
 	}
+	if c.MaxUserQueue <= 0 {
+		c.MaxUserQueue = 64
+	}
 	if c.MaxSessionQueue <= 0 {
 		c.MaxSessionQueue = 16
 	}
@@ -216,14 +261,23 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	AdmittedInteractive int64
 	AdmittedBackground  int64
-	Shed                int64
-	ShedDeadline        int64
-	ShedQueueFull       int64
-	Canceled            int64 // left the queue on context cancellation
-	Completed           int64
-	Inflight            int
-	Queued              int
-	Limit               int
+	// AdmittedDirect counts uncontended fast-path admissions (no queue
+	// wait at all); they are excluded from the queue-wait histogram.
+	AdmittedDirect int64
+	Shed           int64
+	ShedDeadline   int64
+	ShedQueueFull  int64
+	// ShedUserQueueFull counts queue-full sheds caused by the per-user
+	// bound specifically (the source queue still had room).
+	ShedUserQueueFull int64
+	Canceled          int64 // left the queue, or returned a granted slot, on context cancellation
+	Completed         int64 // ran to completion and returned the slot via Done
+	Inflight          int
+	Queued            int
+	// QueuedUsers is the number of distinct user queues currently holding
+	// waiters (per class; a user waiting in both classes counts twice).
+	QueuedUsers int
+	Limit       int
 	// EWMAService is the current service-time estimate admission math uses.
 	EWMAService time.Duration
 }
@@ -235,31 +289,44 @@ type waiter struct {
 	granted bool // guarded by Scheduler.mu
 }
 
-// sessionQueue is one session's FIFO of waiters within a class.
+// sessionQueue is one session's FIFO of waiters within a user.
 type sessionQueue struct {
 	id     string
 	items  []*waiter
 	weight int
-	credit int // remaining dequeues this round-robin turn
+	credit int // remaining dequeues this turn of the user's session ring
 }
 
-// classQueue round-robins across the class's sessions.
-type classQueue struct {
+// userQueue is one user's set of session queues within a class; dequeues
+// round-robin across the user's sessions.
+type userQueue struct {
+	id       string
 	sessions map[string]*sessionQueue
 	ring     []*sessionQueue // visit order; empty sessions are removed
 	cursor   int
-	waiting  int
+	waiting  int // queued across all of this user's sessions
+	weight   int
+	credit   int // remaining dequeues this turn of the class's user ring
+}
+
+// classQueue weighted-round-robins across the class's users.
+type classQueue struct {
+	users   map[string]*userQueue
+	ring    []*userQueue // visit order; empty users are removed
+	cursor  int
+	waiting int
 }
 
 // Scheduler is one source's admission controller. Safe for concurrent use.
 type Scheduler struct {
 	cfg Config
 
-	mu       sync.Mutex
-	inflight int
-	limit    int
-	classes  [numClasses]classQueue
-	waiting  int
+	mu          sync.Mutex
+	inflight    int
+	limit       int
+	classes     [numClasses]classQueue
+	waiting     int
+	queuedUsers int // user queues holding waiters, across classes
 
 	// ewmaNS estimates service time; floorNS tracks the lowest smoothed
 	// latency seen (slowly decaying upward) as the governor's baseline.
@@ -275,7 +342,7 @@ func New(cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
 	s := &Scheduler{cfg: cfg, limit: cfg.Limit}
 	for i := range s.classes {
-		s.classes[i].sessions = make(map[string]*sessionQueue)
+		s.classes[i].users = make(map[string]*userQueue)
 	}
 	return s
 }
@@ -290,6 +357,7 @@ func (s *Scheduler) Stats() Stats {
 	st := s.stats
 	st.Inflight = s.inflight
 	st.Queued = s.waiting
+	st.QueuedUsers = s.queuedUsers
 	st.Limit = s.limit
 	st.EWMAService = time.Duration(s.ewmaNS)
 	return st
@@ -323,8 +391,9 @@ func (t *Ticket) Done() {
 	t.s.finish(time.Since(t.start), true)
 }
 
-// cancel releases the slot without a latency observation (the caller's
-// context died between grant and use; the service time never happened).
+// cancel releases the slot without a latency observation and without
+// counting a completion (the caller's context died between grant and use;
+// the query never ran).
 func (t *Ticket) cancel() {
 	if t == nil || t.done {
 		return
@@ -334,11 +403,12 @@ func (t *Ticket) cancel() {
 }
 
 // Admit asks for capacity to run one query. It returns immediately when
-// the source has headroom, queues under the context's class and session
-// when it does not, and sheds — returning an error wrapping ErrShed within
-// microseconds — when the queue is full or the context's deadline would
-// expire before the estimated queue wait. A nil scheduler admits
-// everything with a nil Ticket (Done on a nil Ticket is a no-op).
+// the source has headroom, queues under the context's class, user and
+// session when it does not, and sheds — returning an error wrapping
+// ErrShed within microseconds — when a queue bound (source, user or
+// session) is hit or the context's deadline would expire before the
+// estimated queue wait. A nil scheduler admits everything with a nil
+// Ticket (Done on a nil Ticket is a no-op).
 func (s *Scheduler) Admit(ctx context.Context) (*Ticket, error) {
 	if s == nil {
 		return nil, nil
@@ -346,27 +416,37 @@ func (s *Scheduler) Admit(ctx context.Context) (*Ticket, error) {
 	_, sp := obs.StartSpan(ctx, obs.SpanSchedAdmit)
 	defer sp.Finish()
 	class := ClassOf(ctx)
+	user := UserOf(ctx)
 	sess := SessionOf(ctx)
 	sp.Annotate("class", class.String())
+	if user != "" {
+		sp.Annotate("user", user)
+	}
 	start := time.Now()
 
 	s.mu.Lock()
 	// Fast path: capacity free and nobody of same-or-higher priority
 	// waiting (admitting past waiters would reorder the fair queue).
+	// Direct admissions have no queue wait by definition: they are
+	// counted, not observed, so the wait histogram only describes
+	// queries that actually queued.
 	if s.inflight < s.limit && !s.queuedAtOrAbove(class) {
 		s.admitLocked(class)
+		s.stats.AdmittedDirect++
 		s.mu.Unlock()
 		sp.Annotate("via", "direct")
-		mWaitNS.Observe(0)
+		cAdmitDirect.Inc()
 		return &Ticket{s: s, start: time.Now()}, nil
 	}
 
 	// Deadline-aware shedding: reject now if the estimated wait consumes
-	// the context's remaining budget. EWMA x (queue ahead + in flight),
-	// drained limit-wide, plus one service time for the query itself.
-	est := s.estimateLocked(class)
+	// the context's remaining budget. The estimate is fair-share aware:
+	// it counts the work hierarchical WRR would actually serve ahead of
+	// this arrival, not the whole backlog.
+	est := s.estimateLocked(class, user)
+	var budget time.Duration
 	if deadline, ok := ctx.Deadline(); ok {
-		budget := time.Until(deadline)
+		budget = time.Until(deadline)
 		if float64(est) > s.cfg.DeadlineSafety*float64(budget) {
 			s.stats.Shed++
 			s.stats.ShedDeadline++
@@ -377,28 +457,31 @@ func (s *Scheduler) Admit(ctx context.Context) (*Ticket, error) {
 		}
 	}
 
-	// Bounded queues: per source and per session.
+	// Bounded queues at every level: per source, per user, per session.
 	cq := &s.classes[class]
-	sq := cq.sessions[sess]
-	if s.waiting >= s.cfg.MaxQueue || (sq != nil && len(sq.items) >= s.cfg.MaxSessionQueue) {
+	uq := cq.users[user]
+	var sq *sessionQueue
+	if uq != nil {
+		sq = uq.sessions[sess]
+	}
+	userFull := uq != nil && uq.waiting >= s.cfg.MaxUserQueue
+	if s.waiting >= s.cfg.MaxQueue || userFull ||
+		(sq != nil && len(sq.items) >= s.cfg.MaxSessionQueue) {
 		s.stats.Shed++
 		s.stats.ShedQueueFull++
+		if userFull && s.waiting < s.cfg.MaxQueue {
+			s.stats.ShedUserQueueFull++
+		}
 		s.mu.Unlock()
 		cShed.Inc()
 		cShedFull.Inc()
+		if userFull {
+			cShedUser.Inc()
+		}
 		sp.Annotate("via", "shed-queue-full")
-		return nil, &ShedError{Reason: "queue-full", EstWait: est}
+		return nil, &ShedError{Reason: "queue-full", EstWait: est, Budget: budget}
 	}
-	if sq == nil {
-		sq = &sessionQueue{id: sess, weight: s.sessionWeight(sess)}
-		cq.sessions[sess] = sq
-		cq.ring = append(cq.ring, sq)
-	}
-	w := &waiter{class: class, ready: make(chan struct{})}
-	sq.items = append(sq.items, w)
-	cq.waiting++
-	s.waiting++
-	gDepth.Set(int64(s.waiting))
+	w := s.enqueueLocked(class, user, sess)
 	s.mu.Unlock()
 	cQueued.Inc()
 	sp.Annotate("via", "queue")
@@ -411,12 +494,14 @@ func (s *Scheduler) Admit(ctx context.Context) (*Ticket, error) {
 		s.mu.Lock()
 		if w.granted {
 			// The grant raced the cancellation: the slot is ours and must
-			// go back, but no service happened so nothing is observed.
+			// go back, but the query never ran — it counts as a
+			// cancellation, never as a completion, and nothing is observed.
 			s.mu.Unlock()
 			(&Ticket{s: s}).cancel()
+			sp.Annotate("via", "canceled-after-grant")
 			return nil, ctx.Err()
 		}
-		s.removeLocked(class, sess, w)
+		s.removeLocked(class, user, sess, w)
 		s.stats.Canceled++
 		s.mu.Unlock()
 		cCanceled.Inc()
@@ -450,24 +535,56 @@ func (s *Scheduler) queuedAtOrAbove(c Class) bool {
 	return false
 }
 
-// estimateLocked predicts how long a new arrival of class c would wait:
-// everything in flight plus everything queued at-or-above its class, each
-// costing one EWMA service time, drained limit-wide — plus its own
-// service time. An unwarmed estimator (no completions yet) returns 0 and
-// admission falls back to the queue bounds alone.
-func (s *Scheduler) estimateLocked(c Class) time.Duration {
+// estimateLocked predicts how long a new arrival of class c from the
+// given user would wait. Everything in flight and everything queued in
+// higher-priority classes is served first. Within the arrival's own
+// class, hierarchical WRR does NOT serve the whole backlog ahead of it:
+// each other user only gets its weight-proportional share of the rounds
+// it takes to drain this user's own queue (plus the new arrival), so a
+// light user's estimate stays small even behind a greedy user's deep
+// backlog. Everything ahead costs one EWMA service time, drained
+// limit-wide, plus the arrival's own service time. An unwarmed estimator
+// (no completions yet) returns 0 and admission falls back to the queue
+// bounds alone.
+func (s *Scheduler) estimateLocked(c Class, user string) time.Duration {
 	if s.ewmaNS <= 0 {
 		return 0
 	}
 	ahead := s.inflight
-	for i := Class(0); i <= c; i++ {
+	for i := Class(0); i < c; i++ {
 		ahead += s.classes[i].waiting
+	}
+	cq := &s.classes[c]
+	own := 0
+	if uq := cq.users[user]; uq != nil {
+		own = uq.waiting
+	}
+	ahead += own
+	// Rounds of the user WRR needed to reach this arrival at the back of
+	// its user's queue, scaled by each competitor's weight.
+	turns := float64(own+1) / float64(s.userWeight(user))
+	for id, uq := range cq.users {
+		if id == user {
+			continue
+		}
+		share := int(turns * float64(uq.weight))
+		if share > uq.waiting {
+			share = uq.waiting
+		}
+		ahead += share
 	}
 	limit := s.limit
 	if limit < 1 {
 		limit = 1
 	}
 	return time.Duration(s.ewmaNS * (float64(ahead)/float64(limit) + 1))
+}
+
+func (s *Scheduler) userWeight(id string) int {
+	if w, ok := s.cfg.UserWeights[id]; ok && w > 0 {
+		return w
+	}
+	return 1
 }
 
 func (s *Scheduler) sessionWeight(id string) int {
@@ -477,16 +594,54 @@ func (s *Scheduler) sessionWeight(id string) int {
 	return 1
 }
 
-// removeLocked drops a canceled waiter from its session queue.
-func (s *Scheduler) removeLocked(class Class, sess string, w *waiter) {
+// enqueueLocked appends a new waiter under (class, user, session),
+// creating the user and session queues on first use. Every enqueue must
+// be balanced by a dequeue (nextLocked) or a removal (removeLocked) —
+// the vizlint release check pins this on the caller's paths.
+func (s *Scheduler) enqueueLocked(class Class, user, sess string) *waiter {
 	cq := &s.classes[class]
-	sq := cq.sessions[sess]
+	uq := cq.users[user]
+	if uq == nil {
+		uq = &userQueue{
+			id:       user,
+			sessions: make(map[string]*sessionQueue),
+			weight:   s.userWeight(user),
+		}
+		cq.users[user] = uq
+		cq.ring = append(cq.ring, uq)
+		s.queuedUsers++
+		gUsers.Set(int64(s.queuedUsers))
+	}
+	sq := uq.sessions[sess]
+	if sq == nil {
+		sq = &sessionQueue{id: sess, weight: s.sessionWeight(sess)}
+		uq.sessions[sess] = sq
+		uq.ring = append(uq.ring, sq)
+	}
+	w := &waiter{class: class, ready: make(chan struct{})}
+	sq.items = append(sq.items, w)
+	uq.waiting++
+	cq.waiting++
+	s.waiting++
+	gDepth.Set(int64(s.waiting))
+	return w
+}
+
+// removeLocked drops a canceled waiter from its session queue.
+func (s *Scheduler) removeLocked(class Class, user, sess string, w *waiter) {
+	cq := &s.classes[class]
+	uq := cq.users[user]
+	if uq == nil {
+		return
+	}
+	sq := uq.sessions[sess]
 	if sq == nil {
 		return
 	}
 	for i, x := range sq.items {
 		if x == w {
 			sq.items = append(sq.items[:i], sq.items[i+1:]...)
+			uq.waiting--
 			cq.waiting--
 			s.waiting--
 			gDepth.Set(int64(s.waiting))
@@ -494,15 +649,42 @@ func (s *Scheduler) removeLocked(class Class, sess string, w *waiter) {
 		}
 	}
 	if len(sq.items) == 0 {
-		s.dropSessionLocked(cq, sq)
+		s.dropSessionLocked(uq, sq)
+	}
+	if uq.waiting == 0 {
+		s.dropUserLocked(cq, uq)
 	}
 }
 
-// dropSessionLocked removes an empty session from the map and ring.
-func (s *Scheduler) dropSessionLocked(cq *classQueue, sq *sessionQueue) {
-	delete(cq.sessions, sq.id)
-	for i, x := range cq.ring {
+// dropSessionLocked removes an empty session from its user's map and ring.
+func (s *Scheduler) dropSessionLocked(uq *userQueue, sq *sessionQueue) {
+	delete(uq.sessions, sq.id)
+	for i, x := range uq.ring {
 		if x == sq {
+			uq.ring = append(uq.ring[:i], uq.ring[i+1:]...)
+			if uq.cursor > i {
+				uq.cursor--
+			}
+			if len(uq.ring) > 0 {
+				uq.cursor %= len(uq.ring)
+			} else {
+				uq.cursor = 0
+			}
+			return
+		}
+	}
+}
+
+// dropUserLocked removes an empty user from the class map and ring.
+func (s *Scheduler) dropUserLocked(cq *classQueue, uq *userQueue) {
+	if _, ok := cq.users[uq.id]; !ok {
+		return
+	}
+	delete(cq.users, uq.id)
+	s.queuedUsers--
+	gUsers.Set(int64(s.queuedUsers))
+	for i, x := range cq.ring {
+		if x == uq {
 			cq.ring = append(cq.ring[:i], cq.ring[i+1:]...)
 			if cq.cursor > i {
 				cq.cursor--
@@ -517,13 +699,16 @@ func (s *Scheduler) dropSessionLocked(cq *classQueue, sq *sessionQueue) {
 	}
 }
 
-// finish returns one slot, updates the estimator and governor (when the
-// service time is real), and grants queued waiters freed capacity.
-func (s *Scheduler) finish(d time.Duration, observe bool) {
+// finish returns one slot. A completed query (Done) feeds the estimator
+// and the governor and counts toward Completed; a canceled grant only
+// returns capacity and counts toward Canceled — it never ran, so it must
+// not inflate the completion count or the service estimate. Either way,
+// freed capacity is granted to queued waiters.
+func (s *Scheduler) finish(d time.Duration, completed bool) {
 	s.mu.Lock()
 	s.inflight--
-	s.stats.Completed++
-	if observe {
+	if completed {
+		s.stats.Completed++
 		mServiceNS.ObserveDuration(d)
 		const alpha = 0.2
 		ns := float64(d.Nanoseconds())
@@ -540,10 +725,15 @@ func (s *Scheduler) finish(d time.Duration, observe bool) {
 			s.floorNS *= 1.002
 		}
 		s.governLocked()
+	} else {
+		s.stats.Canceled++
 	}
 	s.dispatchLocked()
 	gInflight.Set(int64(s.inflight))
 	s.mu.Unlock()
+	if !completed {
+		cCanceled.Inc()
+	}
 }
 
 // governLocked adapts the in-flight limit around the configured base:
@@ -567,7 +757,8 @@ func (s *Scheduler) governLocked() {
 }
 
 // dispatchLocked grants freed capacity: Interactive before Background,
-// weighted round-robin across sessions within a class.
+// weighted round-robin across users within a class, weighted round-robin
+// across sessions within a user.
 func (s *Scheduler) dispatchLocked() {
 	for s.inflight < s.limit {
 		w := s.nextLocked()
@@ -580,40 +771,81 @@ func (s *Scheduler) dispatchLocked() {
 	}
 }
 
-// nextLocked pops the next waiter in scheduling order, or nil.
+// nextLocked pops the next waiter in scheduling order, or nil. The outer
+// loop is the user-level WRR; one dequeue charges one unit of the user's
+// credit and one unit of the chosen session's credit.
 func (s *Scheduler) nextLocked() *waiter {
 	for ci := range s.classes {
 		cq := &s.classes[ci]
 		if cq.waiting == 0 {
 			continue
 		}
-		for range cq.ring { // at most one full ring scan finds the waiter
-			sq := cq.ring[cq.cursor]
-			if sq.credit <= 0 {
-				sq.credit = sq.weight
+		for range cq.ring { // at most one full ring scan finds a waiter
+			uq := cq.ring[cq.cursor]
+			if uq.credit <= 0 {
+				uq.credit = uq.weight
 			}
-			if len(sq.items) == 0 {
-				// Defensive: empty sessions are dropped eagerly, but keep
-				// the scan robust if one slips through.
-				s.dropSessionLocked(cq, sq)
+			if uq.waiting == 0 {
+				// Defensive: empty users are dropped eagerly, but keep the
+				// scan robust if one slips through.
+				s.dropUserLocked(cq, uq)
 				if len(cq.ring) == 0 {
 					break
 				}
 				continue
 			}
-			w := sq.items[0]
-			sq.items = sq.items[1:]
-			cq.waiting--
-			s.waiting--
-			gDepth.Set(int64(s.waiting))
-			sq.credit--
-			if len(sq.items) == 0 {
-				s.dropSessionLocked(cq, sq)
-			} else if sq.credit <= 0 {
+			w := s.popSessionLocked(cq, uq)
+			if w == nil {
+				// The user's session ring was all-empty despite a positive
+				// waiting count; resync by dropping it.
+				s.dropUserLocked(cq, uq)
+				if len(cq.ring) == 0 {
+					break
+				}
+				continue
+			}
+			uq.credit--
+			if uq.waiting == 0 {
+				s.dropUserLocked(cq, uq)
+			} else if uq.credit <= 0 {
 				cq.cursor = (cq.cursor + 1) % len(cq.ring)
 			}
 			return w
 		}
+	}
+	return nil
+}
+
+// popSessionLocked dequeues one waiter from the user's session ring in
+// weighted round-robin order, or nil when every session is empty.
+func (s *Scheduler) popSessionLocked(cq *classQueue, uq *userQueue) *waiter {
+	for range uq.ring {
+		sq := uq.ring[uq.cursor]
+		if sq.credit <= 0 {
+			sq.credit = sq.weight
+		}
+		if len(sq.items) == 0 {
+			// Defensive: empty sessions are dropped eagerly, but keep the
+			// scan robust if one slips through.
+			s.dropSessionLocked(uq, sq)
+			if len(uq.ring) == 0 {
+				return nil
+			}
+			continue
+		}
+		w := sq.items[0]
+		sq.items = sq.items[1:]
+		sq.credit--
+		uq.waiting--
+		cq.waiting--
+		s.waiting--
+		gDepth.Set(int64(s.waiting))
+		if len(sq.items) == 0 {
+			s.dropSessionLocked(uq, sq)
+		} else if sq.credit <= 0 {
+			uq.cursor = (uq.cursor + 1) % len(uq.ring)
+		}
+		return w
 	}
 	return nil
 }

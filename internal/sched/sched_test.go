@@ -476,6 +476,17 @@ func TestAdmitReleaseStress(t *testing.T) {
 	if admitted.Load() == 0 {
 		t.Fatal("stress admitted nothing")
 	}
+	// Accounting must match client-observed outcomes exactly: every
+	// successful Admit+Done is one completion, every context loss — whether
+	// removed from the queue or canceled after a racing grant — is one
+	// cancellation. (Pre-fix, grants racing cancellation counted as
+	// Completed.)
+	if st.Completed != admitted.Load() {
+		t.Fatalf("Completed = %d, clients completed %d", st.Completed, admitted.Load())
+	}
+	if st.Canceled != canceled.Load() {
+		t.Fatalf("Canceled = %d, clients canceled %d", st.Canceled, canceled.Load())
+	}
 	tk, err := s.Admit(context.Background())
 	if err != nil {
 		t.Fatalf("post-stress admit: %v", err)
@@ -498,7 +509,8 @@ func TestShedErrorMessage(t *testing.T) {
 func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
 	if c.Limit != 4 || c.MinLimit != 1 || c.MaxLimit != 8 || c.MaxQueue != 128 ||
-		c.MaxSessionQueue != 16 || c.DeadlineSafety != 0.85 || c.Tolerance != 2.0 || c.AdjustEvery != 8 {
+		c.MaxUserQueue != 64 || c.MaxSessionQueue != 16 ||
+		c.DeadlineSafety != 0.85 || c.Tolerance != 2.0 || c.AdjustEvery != 8 {
 		t.Fatalf("defaults: %+v", c)
 	}
 	c = Config{MinLimit: 6, MaxLimit: 2}.withDefaults()

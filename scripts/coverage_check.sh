@@ -33,7 +33,7 @@ check ./internal/remote     77.8
 check ./internal/connection 83.9
 check ./internal/cache      90.6
 check ./internal/resilience 91.2
-check ./internal/sched      91.6
+check ./internal/sched      92.6
 check ./cmd/vizlint         85.8
 
 exit "$fail"

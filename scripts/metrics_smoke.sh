@@ -21,7 +21,8 @@ for key in '"remote.roundtrip.ns"' '"pool.acquire.wait.ns"' '"pool.acquire.total
            '"cache.literal.evict_sampled"' '"cache.intelligent.evict_sampled"' \
            '"cache.distributed.errors"' '"cache.stale_served"' \
            '"resilience.retry.attempts"' '"resilience.breaker.fast_fails"' \
-           '"sched.admitted"' '"sched.inflight"' '"sched.limit"' '"sched.service.ns"'; do
+           '"sched.admitted"' '"sched.admitted.direct"' '"sched.inflight"' \
+           '"sched.limit"' '"sched.service.ns"' '"sched.user.queued"'; do
     if ! grep -q "$key" <<<"$metrics_json"; then
         echo "metrics smoke FAILED: $key missing from loadsim -metrics json output" >&2
         exit 1
@@ -55,6 +56,21 @@ v = c.get("sched.admitted", 0)
 sys.exit(0 if v > 0 else 1)
 ' <<<"$metrics_json" 2>/dev/null; then
     echo "metrics smoke FAILED: sched.admitted never incremented" >&2
+    exit 1
+fi
+# An unloaded run admits on the fast path, so the direct-admission counter
+# must be non-zero — and those admissions must NOT flood the wait
+# histogram with zeros: its count is bounded by the queued admissions.
+if ! python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+c = m.get("counters", m)
+direct = c.get("sched.admitted.direct", 0)
+total = c.get("sched.admitted", 0)
+waits = m.get("histograms", {}).get("sched.wait.ns", {}).get("count", 0)
+sys.exit(0 if direct > 0 and waits <= total - direct else 1)
+' <<<"$metrics_json" 2>/dev/null; then
+    echo "metrics smoke FAILED: direct admissions missing or leaking into sched.wait.ns" >&2
     exit 1
 fi
 echo "metrics smoke OK"
