@@ -10,7 +10,7 @@
 //	loadsim [-users 20] [-sessions 0] [-interactions 3] [-latency 5ms]
 //	        [-rows 100000] [-trace] [-metrics text|json]
 //	        [-outage start:dur] [-resilient] [-timeout 2s]
-//	        [-arrival 0] [-think 0] [-sched]
+//	        [-arrival 0] [-think 0] [-sched] [-cluster 0]
 //
 // With -outage, the backend is reached through a chaos proxy that goes
 // dark (black-holed connections, active relays cut) at `start` into each
@@ -25,6 +25,14 @@
 // system is keeping up — the regime where overload actually happens —
 // pausing -think between interactions. Add -sched to put the admission
 // controller in front of the pool and report its counters.
+//
+// With -cluster N (N >= 2) the simulation switches to fleet mode: N
+// in-process Data Server nodes coordinate admission through a shared
+// kvstore bus (the clustertest harness), a hot user's sticky sessions
+// saturate node 0, and the remaining users dispatch through the
+// pressure-aware balancer. The run reports per-node admission counters
+// and advisory pressure, and -metrics dumps include the sched.cluster.*
+// series the coordinator publishes.
 //
 // -users is the number of distinct simulated users; -sessions is the
 // total number of dashboard sessions, distributed round-robin across the
@@ -50,9 +58,11 @@ import (
 
 	"vizq/internal/cache"
 	"vizq/internal/chaos"
+	"vizq/internal/clustertest"
 	"vizq/internal/connection"
 	"vizq/internal/core"
 	"vizq/internal/obs"
+	"vizq/internal/query"
 	"vizq/internal/remote"
 	"vizq/internal/resilience"
 	"vizq/internal/sched"
@@ -76,6 +86,7 @@ func main() {
 	arrival := flag.Float64("arrival", 0, "open-loop session arrival rate in sessions/sec (0 = closed-loop)")
 	think := flag.Duration("think", 0, "user think time between interactions")
 	schedOn := flag.Bool("sched", false, "enable admission control (priority classes, bounded queues, load shedding)")
+	clusterN := flag.Int("cluster", 0, "run N in-process Data Server nodes with cross-node admission coordination (fleet mode; most single-process flags don't apply)")
 	flag.Parse()
 	if *metrics != "" && *metrics != "text" && *metrics != "json" {
 		log.Fatalf("loadsim: -metrics must be text or json, got %q", *metrics)
@@ -86,6 +97,15 @@ func main() {
 	sessions := *sessionsFlag
 	if sessions <= 0 {
 		sessions = *users
+	}
+	if *clusterN > 1 {
+		if err := runCluster(*clusterN, *users, 2+*interactions, *rows, *latency, *seed); err != nil {
+			log.Fatal(err)
+		}
+		if err := dumpMetrics(*metrics); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	var outageStart, outageDur time.Duration
 	if *outageSpec != "" {
@@ -310,16 +330,111 @@ func main() {
 		pool.Close()
 	}
 
-	switch *metrics {
+	if err := dumpMetrics(*metrics); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func dumpMetrics(kind string) error {
+	switch kind {
 	case "text":
-		if err := obs.Default.WriteText(os.Stdout); err != nil {
-			log.Fatal(err)
-		}
+		return obs.Default.WriteText(os.Stdout)
 	case "json":
-		if err := obs.Default.WriteJSON(os.Stdout); err != nil {
-			log.Fatal(err)
+		return obs.Default.WriteJSON(os.Stdout)
+	}
+	return nil
+}
+
+// runCluster drives fleet mode: `nodes` in-process Data Servers publish
+// load digests through a shared kvstore and blend peer pressure into
+// admission, while the balancer steers dispatch around hot nodes. Each
+// round a hot user bursts sticky queries at node 0 (enough to overflow
+// its queues) and every simulated user dispatches through the balancer;
+// between rounds the harness ticks the fake digest clock so coordination
+// state — and the sched.cluster.* metrics — advance deterministically.
+func runCluster(nodes, users, rounds, rows int, latency time.Duration, seed int64) error {
+	if rows > 20_000 {
+		rows = 20_000 // fleet mode measures admission, not scan throughput
+	}
+	cl, err := clustertest.New(clustertest.Config{
+		Nodes:          nodes,
+		Rows:           rows,
+		Seed:           seed,
+		PoolMax:        2,
+		Scheduler:      sched.Config{MaxQueue: 16, MaxUserQueue: 4, AdjustEvery: 1 << 30},
+		BackendLatency: latency,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	var mu sync.Mutex
+	var qseq int64
+	var ok, shed, failed, hotOK, hotShed int
+	record := func(err error, hot bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err == nil && hot:
+			hotOK++
+		case err == nil:
+			ok++
+		case errors.Is(err, sched.ErrShed) && hot:
+			hotShed++
+		case errors.Is(err, sched.ErrShed):
+			shed++
+		default:
+			failed++
 		}
 	}
+	next := func() *query.Query {
+		mu.Lock()
+		qseq++
+		q := qseq
+		mu.Unlock()
+		return clustertest.DistinctQuery(int(q))
+	}
+
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		// The hot user bursts 8 sticky queries at node 0: two run, four
+		// queue at its user cap, the rest shed — so node 0's digest
+		// advertises pressure every round.
+		for h := 0; h < 8; h++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				record(cl.QueryOn(ctx, 0, "hot", next()), true)
+			}()
+		}
+		for u := 0; u < users; u++ {
+			wg.Add(1)
+			go func(u int) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				_, err := cl.Dispatch(ctx, fmt.Sprintf("user-%d", u), next())
+				record(err, false)
+			}(u)
+		}
+		wg.Wait()
+		cl.Tick()
+	}
+
+	fmt.Printf("cluster mode  nodes=%d users=%d rounds=%d latency=%v\n", nodes, users, rounds, latency)
+	fmt.Printf("  balanced traffic ok=%d shed=%d errors=%d   hot user (node-0) ok=%d shed=%d\n",
+		ok, shed, failed, hotOK, hotShed)
+	for i := 0; i < nodes; i++ {
+		st := cl.Scheduler(i).Stats()
+		fmt.Printf("  node-%d  admitted=%d/%d (%d direct) shed=%d (%d cluster) limit=%d peers=%d pressure=%.2f\n",
+			i, st.AdmittedInteractive, st.AdmittedBackground, st.AdmittedDirect,
+			st.Shed, st.ShedClusterPressure, st.Limit, st.ClusterPeers, cl.Balancer.Pressure(i))
+	}
+	fmt.Println()
+	return nil
 }
 
 // traceUser replays one user session under a tracer (outside the timed run)

@@ -3,6 +3,7 @@ package connection
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -13,11 +14,22 @@ import (
 // deployment, Sect. 4.1.4: "deployed either as a shared-nothing architecture
 // or shared-everything architecture ... a load balancer dispatches queries
 // to different nodes in the TDE cluster"). Each node gets its own connection
-// pool; queries are dispatched to the node with the fewest live connections,
+// pool; queries are dispatched to the node with the lowest load score,
 // breaking ties round-robin.
+//
+// The score is live connections plus an advisory shed-pressure term fed by
+// the cluster coordination layer (SetPressure): a node whose scheduler
+// advertises shed pressure in its digest costs extra, so dispatch steers
+// toward calm nodes *before* queries queue behind a hot one. Pressure is
+// advisory — with every node equally pressured (or none reporting), the
+// balancer degrades to plain least-loaded round-robin.
 type Balancer struct {
 	pools []*Pool
-	next  uint64
+	next  atomic.Uint64
+	// pressure[i] holds math.Float64bits of node i's advisory shed
+	// pressure (≥ 0), stored atomically so digest readers update it
+	// without blocking dispatch.
+	pressure []atomic.Uint64
 }
 
 // NewBalancer builds a balancer over node addresses, one pool per node.
@@ -25,25 +37,75 @@ func NewBalancer(addrs []string, cfg PoolConfig) (*Balancer, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("connection: balancer needs at least one node")
 	}
-	b := &Balancer{}
+	pools := make([]*Pool, 0, len(addrs))
 	for _, a := range addrs {
-		b.pools = append(b.pools, NewPool(a, cfg))
+		pools = append(pools, NewPool(a, cfg))
 	}
-	return b, nil
+	return NewBalancerFromPools(pools)
 }
 
-// pick chooses the least-loaded pool (ties resolved round-robin).
-func (b *Balancer) pick() *Pool {
-	start := int(atomic.AddUint64(&b.next, 1))
-	best := b.pools[start%len(b.pools)]
-	for i := 0; i < len(b.pools); i++ {
-		p := b.pools[(start+i)%len(b.pools)]
-		if p.Live() < best.Live() {
-			best = p
+// NewBalancerFromPools builds a balancer over existing per-node pools
+// (the cluster harness wires pools it also hands to each Data Server).
+func NewBalancerFromPools(pools []*Pool) (*Balancer, error) {
+	if len(pools) == 0 {
+		return nil, fmt.Errorf("connection: balancer needs at least one node")
+	}
+	return &Balancer{pools: pools, pressure: make([]atomic.Uint64, len(pools))}, nil
+}
+
+// SetPressure records node i's advisory shed pressure (typically the
+// shed rate from its latest cluster digest, or queue depth normalized by
+// its limit). Negative values clear it. Out-of-range indexes are ignored.
+func (b *Balancer) SetPressure(i int, p float64) {
+	if i < 0 || i >= len(b.pressure) {
+		return
+	}
+	if p < 0 || math.IsNaN(p) {
+		p = 0
+	}
+	b.pressure[i].Store(math.Float64bits(p))
+}
+
+// Pressure reads node i's advisory shed pressure.
+func (b *Balancer) Pressure(i int) float64 {
+	if i < 0 || i >= len(b.pressure) {
+		return 0
+	}
+	return math.Float64frombits(b.pressure[i].Load())
+}
+
+// score is node i's dispatch cost: live connections plus pressure scaled
+// by the pool's capacity, so a fully-pressured node (pressure 1.0) costs
+// as much as one whose every connection slot is busy.
+func (b *Balancer) score(i int) float64 {
+	p := b.pools[i]
+	penalty := float64(p.Max())
+	if penalty < 1 {
+		penalty = 1
+	}
+	return float64(p.Live()) + b.Pressure(i)*penalty
+}
+
+// PickIndex chooses the node for the next dispatch: lowest score wins,
+// ties resolved round-robin. The rotation counter is kept unsigned all
+// the way to the modulo — converting it through int first turns negative
+// once the counter passes MaxInt64 and indexes out of bounds.
+func (b *Balancer) PickIndex() int {
+	start := b.next.Add(1)
+	n := uint64(len(b.pools))
+	bestIdx := int(start % n)
+	best := b.score(bestIdx)
+	for i := uint64(1); i < n; i++ {
+		idx := int((start + i) % n)
+		if s := b.score(idx); s < best {
+			best, bestIdx = s, idx
 		}
 	}
-	return best
+	return bestIdx
 }
+
+// pick chooses the next pool to dispatch to.
+func (b *Balancer) pick() *Pool { return b.pools[b.PickIndex()] }
 
 // Query dispatches one query to a node.
 func (b *Balancer) Query(ctx context.Context, tql string) (*exec.Result, error) {

@@ -81,6 +81,10 @@ func NewPool(addr string, cfg PoolConfig) *Pool {
 // Addr returns the pooled server address.
 func (p *Pool) Addr() string { return p.addr }
 
+// Max returns the pool's live-connection bound (the concurrency the data
+// source receives); the balancer scales pressure penalties by it.
+func (p *Pool) Max() int { return p.cfg.Max }
+
 // Stats snapshots counters.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()

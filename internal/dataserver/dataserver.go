@@ -87,6 +87,15 @@ type Config struct {
 	// timeouts. Individual sources may override it via
 	// PublishedSource.Scheduler.
 	Scheduler *sched.Config
+	// Cluster, when set (and Node and Bus are filled in), coordinates
+	// admission across Data Server nodes: every published source's
+	// scheduler publishes load digests through the bus and blends peer
+	// pressure into local decisions. The coordinator is created at
+	// NewServer but its background loop is not started — call
+	// Coordinator().Start() (production) or drive Coordinator().Step()
+	// directly (deterministic tests). Ignored without Scheduler-equipped
+	// sources: there is nothing to coordinate.
+	Cluster *sched.ClusterConfig
 }
 
 // cacheOptions resolves the configured cache sizing.
@@ -108,7 +117,8 @@ type Stats struct {
 
 // Server hosts published data sources.
 type Server struct {
-	cfg Config
+	cfg   Config
+	coord *sched.Coordinator
 
 	mu       sync.Mutex
 	sources  map[string]*PublishedSource
@@ -134,7 +144,7 @@ type tempDef struct {
 
 // NewServer creates an empty Data Server.
 func NewServer(cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		sources: make(map[string]*PublishedSource),
 		procs:   make(map[string]*core.Processor),
@@ -142,7 +152,21 @@ func NewServer(cfg Config) *Server {
 		scheds:  make(map[string]*sched.Scheduler),
 		temps:   make(map[string]*tempDef),
 	}
+	if cfg.Cluster != nil {
+		// An incomplete cluster config (no node id or bus) degrades to
+		// uncoordinated per-node admission rather than failing the server:
+		// coordination is advisory by design.
+		if coord, err := sched.NewCoordinator(*cfg.Cluster); err == nil {
+			s.coord = coord
+		}
+	}
+	return s
 }
+
+// Coordinator returns the server's cluster admission coordinator, or nil
+// when cluster coordination is not configured. Callers own its lifecycle:
+// Start()/Stop() for the background publish loop, or Step() directly.
+func (s *Server) Coordinator() *sched.Coordinator { return s.coord }
 
 // Publish registers a data source.
 func (s *Server) Publish(src *PublishedSource) error {
@@ -195,6 +219,9 @@ func (s *Server) Publish(src *PublishedSource) error {
 		sd := sched.New(sc)
 		s.scheds[key] = sd
 		popt.Scheduler = sd
+		if s.coord != nil {
+			s.coord.Register(key, sd)
+		}
 	}
 	s.sources[key] = src
 	s.pools[key] = pool
@@ -226,6 +253,9 @@ func (s *Server) Unpublish(name string) {
 	delete(s.sources, key)
 	delete(s.pools, key)
 	delete(s.procs, key)
+	if _, ok := s.scheds[key]; ok && s.coord != nil {
+		s.coord.Unregister(key)
+	}
 	delete(s.scheds, key)
 }
 

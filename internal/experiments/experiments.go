@@ -127,6 +127,7 @@ func All() []Runner {
 		{"E10", "resilience under backend outage", E10ResilienceUnderOutage},
 		{"E11", "admission control under overload", E11AdmissionControl},
 		{"E12", "per-user fairness under a greedy user", E12UserFairness},
+		{"E13", "cross-node admission coordination", E13ClusterCoordination},
 	}
 }
 

@@ -169,6 +169,41 @@ func TestAllExperimentsRun(t *testing.T) {
 	if r := ratioCell(t, userRow[4]); r > 1.5 {
 		t.Errorf("E12: user-level WRR held victims at %.2fx uncontended, want <= 1.5x", r)
 	}
+
+	// E13: coordination must steer victims off the hot node (better p99)
+	// without clamping on a minority, shed a majority-hot source on every
+	// node, and converge divergent limits to a spread of <=1.
+	e13 := tables["E13"]
+	steerOff, steerOn := e13.Rows[0], e13.Rows[1]
+	if atoiCell(t, steerOff[3]) == 0 || atoiCell(t, steerOn[3]) == 0 {
+		t.Error("E13: a steering arm completed no victim renders")
+	}
+	if msCell(t, steerOn[5]) >= msCell(t, steerOff[5]) {
+		t.Errorf("E13: coordinated victim p99 (%s ms) should beat per-node-only (%s ms)",
+			steerOn[5], steerOff[5])
+	}
+	if steerOn[2] != "0" {
+		t.Errorf("E13: one pressured node is a minority and must not clamp, got %s cluster sheds", steerOn[2])
+	}
+	majOff, majOn := e13.Rows[2], e13.Rows[3]
+	if majOff[1] != "2/3" {
+		t.Errorf("E13: per-node-only should shed the hot user on 2/3 nodes, got %s", majOff[1])
+	}
+	if majOff[2] != "0" {
+		t.Errorf("E13: per-node-only arm recorded %s cluster sheds, want 0", majOff[2])
+	}
+	if majOn[1] != "3/3" {
+		t.Errorf("E13: coordinated shedding must be fleet-consistent (3/3), got %s", majOn[1])
+	}
+	if atoiCell(t, majOn[2]) == 0 {
+		t.Error("E13: the calm node recorded no cluster-pressure sheds under a majority-hot fleet")
+	}
+	if e13.Rows[4][6] != "3" {
+		t.Errorf("E13: uncoordinated limits should stay at spread 3, got %s", e13.Rows[4][6])
+	}
+	if sp := atoiCell(t, e13.Rows[5][6]); sp > 1 {
+		t.Errorf("E13: coordinated limit spread = %d, want <= 1", sp)
+	}
 }
 
 func atoiCell(t *testing.T, s string) int {
@@ -214,7 +249,7 @@ func TestScalePresets(t *testing.T) {
 	if TestScale().Rows >= FullScale().Rows {
 		t.Error("test scale should be smaller")
 	}
-	if len(All()) != 12 {
-		t.Errorf("experiments = %d, want 12", len(All()))
+	if len(All()) != 13 {
+		t.Errorf("experiments = %d, want 13", len(All()))
 	}
 }

@@ -1,0 +1,277 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"vizq/internal/chaos"
+)
+
+func TestStoreScan(t *testing.T) {
+	s := NewStore(0)
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+	s.Set("dig/a/n2", []byte("2"), 0)
+	s.Set("dig/a/n1", []byte("1"), time.Second)
+	s.Set("dig/b/n1", []byte("3"), 0)
+	s.Set("other", []byte("x"), 0)
+
+	got := s.Scan("dig/a/")
+	if len(got) != 2 || got[0].Key != "dig/a/n1" || got[1].Key != "dig/a/n2" {
+		t.Fatalf("scan = %+v, want dig/a/* sorted", got)
+	}
+	if string(got[0].Val) != "1" || string(got[1].Val) != "2" {
+		t.Fatalf("scan values = %+v", got)
+	}
+	if hits, misses := s.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("scan perturbed hit/miss counters: %d/%d", hits, misses)
+	}
+
+	// Past the TTL the expired entry disappears from the scan AND from
+	// the store (swept, not just filtered).
+	now = now.Add(2 * time.Second)
+	got = s.Scan("dig/")
+	if len(got) != 2 || got[0].Key != "dig/a/n2" || got[1].Key != "dig/b/n1" {
+		t.Fatalf("post-expiry scan = %+v", got)
+	}
+	if s.Len() != 3 {
+		t.Errorf("expired entry not swept: len = %d", s.Len())
+	}
+	if got := s.Scan("nope/"); len(got) != 0 {
+		t.Errorf("scan of absent prefix = %+v", got)
+	}
+}
+
+// TestStoreScanDoesNotPromote: a coordination-bus sweep must not refresh
+// LRU positions, or digest polling would pin digests in the cache tier
+// and evict real cache entries instead.
+func TestStoreScanDoesNotPromote(t *testing.T) {
+	s := NewStore(100)
+	s.Set("a", make([]byte, 40), 0)
+	s.Set("b", make([]byte, 40), 0)
+	s.Scan("a")                     // must NOT touch a's LRU position
+	s.Set("c", make([]byte, 40), 0) // evicts the true LRU victim
+	if _, ok := s.Get("a"); ok {
+		t.Error("scan promoted its results; eviction victim should be a")
+	}
+	if _, ok := s.Get("b"); !ok {
+		t.Error("unscanned recent entry evicted")
+	}
+}
+
+// TestStoreScanTTLRace: concurrent writers with immediately-expiring TTLs
+// against concurrent scanners — the expiry sweep inside Scan must be safe
+// under -race, and once writers stop every entry must age out.
+func TestStoreScanTTLRace(t *testing.T) {
+	s := NewStore(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Set(fmt.Sprintf("k/%d", (w*200+i)%8), []byte("v"), time.Nanosecond)
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Scan("k/")
+				s.Get("k/0")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Scan("k/"); len(got) != 0 {
+		t.Errorf("expired entries survived the final sweep: %+v", got)
+	}
+	if s.Len() != 0 {
+		t.Errorf("store still holds %d expired entries", s.Len())
+	}
+}
+
+func TestClientList(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewStore(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for k, v := range map[string]string{"dig/n1": "v1", "dig/n2": "v2", "zz": "x"} {
+		if err := c.Set(k, []byte(v), time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := c.List("dig/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || string(m["dig/n1"]) != "v1" || string(m["dig/n2"]) != "v2" {
+		t.Fatalf("list = %v", m)
+	}
+	if m, err := c.List("absent/"); err != nil || len(m) != 0 {
+		t.Fatalf("list of absent prefix = %v, %v", m, err)
+	}
+}
+
+// TestDecodePairsTorn: every truncation of a valid List body must be
+// rejected — a digest reader fed a torn response must see an error, never
+// a silently shortened peer set.
+func TestDecodePairsTorn(t *testing.T) {
+	body := encodePairs([]KV{{Key: "k1", Val: []byte("v1")}, {Key: "key-2", Val: []byte("longer-value")}})
+	m, err := decodePairs(body)
+	if err != nil || len(m) != 2 || string(m["key-2"]) != "longer-value" {
+		t.Fatalf("round trip = %v, %v", m, err)
+	}
+	for i := 0; i < len(body); i++ {
+		if _, err := decodePairs(body[:i]); err == nil {
+			t.Errorf("truncation at %d of %d accepted", i, len(body))
+		}
+	}
+	// A count that promises more pairs than the body holds is torn too.
+	lying := binary.LittleEndian.AppendUint32(nil, 1000)
+	if _, err := decodePairs(lying); err == nil {
+		t.Error("oversized count accepted")
+	}
+}
+
+// TestClientTimeoutOnStall: a server that accepts but never answers must
+// not hang a client with SetTimeout — the deadline surfaces as a timeout
+// error instead of wedging the caller.
+func TestClientTimeoutOnStall(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			<-stop // hold the connection open, never respond
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(50 * time.Millisecond)
+	_, _, err = c.Get("k")
+	if err == nil {
+		t.Fatal("stalled round trip returned no error")
+	}
+	var nerr net.Error
+	if !asNetError(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+}
+
+func asNetError(err error, target *net.Error) bool {
+	for err != nil {
+		if ne, ok := err.(net.Error); ok {
+			*target = ne
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestLocalBus(t *testing.T) {
+	b := NewLocalBus(NewStore(0))
+	if err := b.Set("p/a", []byte("1"), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set("q/b", []byte("2"), 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.List("p/")
+	if err != nil || len(m) != 1 || string(m["p/a"]) != "1" {
+		t.Fatalf("local bus list = %v, %v", m, err)
+	}
+}
+
+func TestRemoteBusDialFailure(t *testing.T) {
+	// Grab a port and close it so nothing listens there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	b := NewRemoteBus(addr, 100*time.Millisecond)
+	if err := b.Set("k", []byte("v"), 0); err == nil {
+		t.Fatal("set against a dead address succeeded")
+	}
+	if _, err := b.List("k"); err == nil {
+		t.Fatal("list against a dead address succeeded")
+	}
+	if err := b.Close(); err != nil { // no live connection: still clean
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteBusReconnects: the bus must fail fast across a partition and
+// transparently redial once it heals — the plain Client stays wedged
+// after its first transport error, which is exactly what a coordination
+// bus cannot afford.
+func TestRemoteBusReconnects(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewStore(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	proxy, err := chaos.New(srv.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	b := NewRemoteBus(proxy.Addr(), 0) // 0 selects DefaultBusTimeout
+	defer b.Close()
+	if err := b.Set("dig/n1", []byte("v"), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition: live relays die, new connections are refused.
+	proxy.SetMode(chaos.Fault{Kind: chaos.Refuse})
+	proxy.KillActive()
+	if _, err := b.List("dig/"); err == nil {
+		t.Fatal("list across a partition succeeded")
+	}
+	if err := b.Set("dig/n1", []byte("v2"), time.Minute); err == nil {
+		t.Fatal("set across a partition succeeded")
+	}
+
+	// Heal: the very next op redials and sees the surviving entry.
+	proxy.Heal()
+	m, err := b.List("dig/")
+	if err != nil {
+		t.Fatalf("list after heal: %v", err)
+	}
+	if string(m["dig/n1"]) != "v" {
+		t.Fatalf("entry lost across the partition: %v", m)
+	}
+}

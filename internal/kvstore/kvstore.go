@@ -3,10 +3,15 @@
 // to distribute its query caches across cluster nodes (Sect. 3.2: "a
 // distributed layer ... allows sharing data across nodes in the cluster and
 // keeping data warm regardless of which node handles particular requests").
+// Beyond the cache tier, the store doubles as the cluster's coordination
+// bus: internal/sched publishes per-source load digests under a shared key
+// prefix and reads its peers' back with Scan/List.
 package kvstore
 
 import (
 	"container/list"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -83,6 +88,41 @@ func (s *Store) Set(key string, val []byte, ttl time.Duration) {
 	for s.maxBytes > 0 && s.curBytes > s.maxBytes && s.lru.Len() > 1 {
 		s.removeLocked(s.lru.Back())
 	}
+}
+
+// KV is one Scan result pair.
+type KV struct {
+	Key string
+	Val []byte
+}
+
+// Scan returns every unexpired entry whose key starts with prefix, sorted
+// by key. Unlike Get it neither promotes entries in the LRU order nor
+// counts hits/misses — a coordination-bus reader sweeping digests must not
+// perturb the cache tier's eviction behaviour. Expired entries found along
+// the way are removed.
+func (s *Store) Scan(prefix string) []KV {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	var expired []*list.Element
+	var out []KV
+	for key, el := range s.entries {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		e := el.Value.(*kvEntry)
+		if !e.expires.IsZero() && now.After(e.expires) {
+			expired = append(expired, el)
+			continue
+		}
+		out = append(out, KV{Key: key, Val: e.val})
+	}
+	for _, el := range expired {
+		s.removeLocked(el)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // Delete removes a key.

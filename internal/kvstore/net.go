@@ -13,13 +13,17 @@ import (
 
 // Wire protocol: every message is length-prefixed. Requests are
 // [op u8][keyLen u32][key][ttlMs u64][valLen u32][val]; responses are
-// [status u8][valLen u32][val]. Ops: G(et), S(et), D(elete), P(ing).
+// [status u8][valLen u32][val]. Ops: G(et), S(et), D(elete), P(ing),
+// L(ist). List treats the key as a prefix and returns, in the response
+// body, [count u32] followed by count pairs of [keyLen u32][key]
+// [valLen u32][val], sorted by key.
 
 const (
 	opGet    = 'G'
 	opSet    = 'S'
 	opDelete = 'D'
 	opPing   = 'P'
+	opList   = 'L'
 
 	statusOK       = 0
 	statusNotFound = 1
@@ -138,6 +142,8 @@ func (s *Server) handle(conn net.Conn) {
 			werr = writeResponse(w, statusOK, nil)
 		case opPing:
 			werr = writeResponse(w, statusOK, []byte("pong"))
+		case opList:
+			werr = writeResponse(w, statusOK, encodePairs(s.store.Scan(string(key))))
 		default:
 			werr = writeResponse(w, statusError, []byte(fmt.Sprintf("bad op %q", op)))
 		}
@@ -179,13 +185,76 @@ func writeResponse(w *bufio.Writer, status byte, val []byte) error {
 	return err
 }
 
+// encodePairs flattens Scan results into a List response body:
+// [count u32] then per pair [keyLen u32][key][valLen u32][val].
+func encodePairs(pairs []KV) []byte {
+	size := 4
+	for _, p := range pairs {
+		size += 8 + len(p.Key) + len(p.Val)
+	}
+	out := make([]byte, 0, size)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(pairs)))
+	for _, p := range pairs {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Key)))
+		out = append(out, p.Key...)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Val)))
+		out = append(out, p.Val...)
+	}
+	return out
+}
+
+// decodePairs is the inverse of encodePairs.
+func decodePairs(body []byte) (map[string][]byte, error) {
+	if len(body) < 4 {
+		return nil, errors.New("kvstore: short list response")
+	}
+	count := binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	out := make(map[string][]byte, count)
+	next := func() ([]byte, error) {
+		if len(body) < 4 {
+			return nil, errors.New("kvstore: torn list response")
+		}
+		n := binary.LittleEndian.Uint32(body)
+		body = body[4:]
+		if uint32(len(body)) < n {
+			return nil, errors.New("kvstore: torn list response")
+		}
+		b := body[:n:n]
+		body = body[n:]
+		return b, nil
+	}
+	for i := uint32(0); i < count; i++ {
+		key, err := next()
+		if err != nil {
+			return nil, err
+		}
+		val, err := next()
+		if err != nil {
+			return nil, err
+		}
+		out[string(key)] = val
+	}
+	return out, nil
+}
+
 // Client talks to a kvstore server over a single multiplexed connection.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-	addr string
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	addr    string
+	timeout time.Duration
+}
+
+// SetTimeout bounds each subsequent round trip with a connection deadline
+// (0 = wait forever). Coordination-bus callers set this so a stalled link
+// surfaces as an error instead of hanging the publisher.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
 }
 
 // Dial connects to a kvstore server.
@@ -208,6 +277,9 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) roundTrip(op byte, key string, ttl time.Duration, val []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
 	if err := c.writeRequest(op, key, ttl, val); err != nil {
 		return 0, nil, err
 	}
@@ -278,6 +350,18 @@ func (c *Client) Delete(key string) error {
 		return fmt.Errorf("kvstore: delete failed: %s", body)
 	}
 	return nil
+}
+
+// List returns every unexpired entry whose key starts with prefix.
+func (c *Client) List(prefix string) (map[string][]byte, error) {
+	status, body, err := c.roundTrip(opList, prefix, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != statusOK {
+		return nil, fmt.Errorf("kvstore: list failed: %s", body)
+	}
+	return decodePairs(body)
 }
 
 // Ping checks liveness.

@@ -221,6 +221,23 @@ type Config struct {
 	// AdjustEvery is how many completions pass between governor steps
 	// (default 8).
 	AdjustEvery int
+	// PeerBacklogWeight scales how strongly peer queue depth (from cluster
+	// digests) inflates local deadline-shed estimates (default 0.25; set
+	// negative to disable). With W = PeerBacklogWeight and Q the average
+	// peer queue depth, the local estimate is multiplied by
+	// 1 + W*Q/limit — fleet-wide backlog sheds deadline-bound queries a
+	// little earlier everywhere.
+	PeerBacklogWeight float64
+	// ClusterUserQueue is the per-user queue bound applied while a
+	// majority of the fleet reports shed pressure for this source
+	// (default 1). Clamping the *user* bound — not the source bound —
+	// sheds the hot user's backlog consistently on every node while
+	// light users keep queueing normally.
+	ClusterUserQueue int
+	// PressureShedRate is the shed-rate threshold above which a peer's
+	// digest counts as "pressured" for the majority-shed rule
+	// (default 0.05).
+	PressureShedRate float64
 }
 
 func (c Config) withDefaults() Config {
@@ -254,6 +271,17 @@ func (c Config) withDefaults() Config {
 	if c.AdjustEvery <= 0 {
 		c.AdjustEvery = 8
 	}
+	if c.PeerBacklogWeight == 0 {
+		c.PeerBacklogWeight = 0.25
+	} else if c.PeerBacklogWeight < 0 {
+		c.PeerBacklogWeight = 0
+	}
+	if c.ClusterUserQueue <= 0 {
+		c.ClusterUserQueue = 1
+	}
+	if c.PressureShedRate <= 0 {
+		c.PressureShedRate = 0.05
+	}
 	return c
 }
 
@@ -280,6 +308,18 @@ type Stats struct {
 	Limit       int
 	// EWMAService is the current service-time estimate admission math uses.
 	EWMAService time.Duration
+	// ShedClusterPressure counts sheds forced by the fleet-majority rule:
+	// this node still had queue room, but the source was shedding on a
+	// majority of nodes.
+	ShedClusterPressure int64
+	// EWMAWait is the smoothed queue wait published in cluster digests.
+	EWMAWait time.Duration
+	// ClusterPeers is the number of fresh peer digests currently blended
+	// into admission decisions (0 = running local-only).
+	ClusterPeers int
+	// ClusterShedActive reports whether the fleet-majority shed clamp is
+	// in force right now.
+	ClusterShedActive bool
 }
 
 // waiter is one queued admission request.
@@ -334,6 +374,18 @@ type Scheduler struct {
 	floorNS     float64
 	sinceAdjust int
 
+	// ewmaWaitNS smooths observed queue waits for the cluster digest.
+	ewmaWaitNS float64
+
+	// Cluster advisory state, refreshed by ObservePeers. It expires
+	// clusterHold after the last refresh (wall clock): a dead coordinator
+	// or unreachable bus must decay the fleet's influence back to
+	// local-only admission, never freeze it in.
+	peerCount    int
+	peerQueueAvg float64
+	clusterShed  bool
+	peerExpiry   time.Time
+
 	stats Stats
 }
 
@@ -360,6 +412,11 @@ func (s *Scheduler) Stats() Stats {
 	st.QueuedUsers = s.queuedUsers
 	st.Limit = s.limit
 	st.EWMAService = time.Duration(s.ewmaNS)
+	st.EWMAWait = time.Duration(s.ewmaWaitNS)
+	if s.clusterFreshLocked(time.Now()) {
+		st.ClusterPeers = s.peerCount
+		st.ClusterShedActive = s.clusterShed
+	}
 	return st
 }
 
@@ -458,16 +515,35 @@ func (s *Scheduler) Admit(ctx context.Context) (*Ticket, error) {
 	}
 
 	// Bounded queues at every level: per source, per user, per session.
+	// While a majority of the fleet reports shed pressure for this source,
+	// the per-user bound clamps to ClusterUserQueue: the hot user's
+	// backlog sheds here too — even though this node alone still has
+	// queue room — so overload behavior is consistent fleet-wide.
+	userCap := s.cfg.MaxUserQueue
+	clusterClamp := s.clusterShedActiveLocked(start)
+	if clusterClamp {
+		userCap = s.cfg.ClusterUserQueue
+	}
 	cq := &s.classes[class]
 	uq := cq.users[user]
 	var sq *sessionQueue
 	if uq != nil {
 		sq = uq.sessions[sess]
 	}
-	userFull := uq != nil && uq.waiting >= s.cfg.MaxUserQueue
+	userFull := uq != nil && uq.waiting >= userCap
 	if s.waiting >= s.cfg.MaxQueue || userFull ||
 		(sq != nil && len(sq.items) >= s.cfg.MaxSessionQueue) {
 		s.stats.Shed++
+		if clusterClamp && userFull && uq.waiting < s.cfg.MaxUserQueue {
+			// Only the cluster clamp rejected this query; locally it would
+			// still have queued.
+			s.stats.ShedClusterPressure++
+			s.mu.Unlock()
+			cShed.Inc()
+			cClusterShed.Inc()
+			sp.Annotate("via", "shed-cluster-pressure")
+			return nil, &ShedError{Reason: "cluster-pressure", EstWait: est, Budget: budget}
+		}
 		s.stats.ShedQueueFull++
 		if userFull && s.waiting < s.cfg.MaxQueue {
 			s.stats.ShedUserQueueFull++
@@ -488,7 +564,11 @@ func (s *Scheduler) Admit(ctx context.Context) (*Ticket, error) {
 
 	select {
 	case <-w.ready:
-		mWaitNS.ObserveDuration(time.Since(start))
+		wait := time.Since(start)
+		mWaitNS.ObserveDuration(wait)
+		s.mu.Lock()
+		s.observeWaitLocked(wait)
+		s.mu.Unlock()
 		return &Ticket{s: s, start: time.Now()}, nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -577,7 +657,39 @@ func (s *Scheduler) estimateLocked(c Class, user string) time.Duration {
 	if limit < 1 {
 		limit = 1
 	}
-	return time.Duration(s.ewmaNS * (float64(ahead)/float64(limit) + 1))
+	est := s.ewmaNS * (float64(ahead)/float64(limit) + 1)
+	// Fleet-backlog blending: peers queueing deeply for this source mean
+	// the fleet is behind even when this node looks calm — a query sent
+	// anywhere waits longer than the local backlog suggests, so inflate
+	// the estimate and shed deadline-bound arrivals a little earlier.
+	if s.peerQueueAvg > 0 && s.clusterFreshLocked(time.Now()) {
+		est *= 1 + s.cfg.PeerBacklogWeight*s.peerQueueAvg/float64(limit)
+	}
+	return time.Duration(est)
+}
+
+// observeWaitLocked smooths one observed queue wait into the digest's
+// wait estimate.
+func (s *Scheduler) observeWaitLocked(d time.Duration) {
+	const alpha = 0.2
+	ns := float64(d.Nanoseconds())
+	if s.ewmaWaitNS == 0 {
+		s.ewmaWaitNS = ns
+	} else {
+		s.ewmaWaitNS = (1-alpha)*s.ewmaWaitNS + alpha*ns
+	}
+}
+
+// clusterFreshLocked reports whether peer advisory state is recent enough
+// to act on; past the hold window admission falls back to local-only.
+func (s *Scheduler) clusterFreshLocked(now time.Time) bool {
+	return s.peerCount > 0 && now.Before(s.peerExpiry)
+}
+
+// clusterShedActiveLocked reports whether the fleet-majority shed clamp
+// applies right now.
+func (s *Scheduler) clusterShedActiveLocked(now time.Time) bool {
+	return s.clusterShed && s.clusterFreshLocked(now)
 }
 
 func (s *Scheduler) userWeight(id string) int {

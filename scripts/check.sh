@@ -21,11 +21,11 @@ echo "== vizlint ./cmd/... (self-lint)"
 go run ./cmd/vizlint ./cmd/...
 
 if [[ "${SKIP_RACE:-0}" != "1" ]]; then
-    echo "== go test -race ./..."
-    go test -race ./...
+    echo "== go test -race -shuffle=on ./..."
+    go test -race -shuffle=on ./...
 else
-    echo "== go test ./... (race pass skipped)"
-    go test ./...
+    echo "== go test -shuffle=on ./... (race pass skipped)"
+    go test -shuffle=on ./...
 fi
 
 echo "== metrics smoke (loadsim -metrics json)"

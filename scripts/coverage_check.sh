@@ -30,6 +30,7 @@ check() {
 }
 
 check ./internal/remote     77.8
+check ./internal/kvstore    88.4
 check ./internal/connection 83.9
 check ./internal/cache      90.6
 check ./internal/resilience 91.2

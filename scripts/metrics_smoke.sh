@@ -58,6 +58,39 @@ sys.exit(0 if v > 0 else 1)
     echo "metrics smoke FAILED: sched.admitted never incremented" >&2
     exit 1
 fi
+# Fleet mode: a 3-node coordinated run must publish load digests and see
+# peers — the sched.cluster.* series are the observable surface of
+# cross-node admission coordination, so a silent coordinator should fail
+# the gate here.
+cluster_out="$(go run ./cmd/loadsim -cluster 3 -users 3 -interactions 1 -rows 5000 -latency 1ms -metrics json)"
+cluster_json="$(awk 'f||/^\{$/{f=1;print}' <<<"$cluster_out")"
+if [[ -z "$cluster_json" ]]; then
+    echo "metrics smoke FAILED: no JSON object in loadsim -cluster output" >&2
+    exit 1
+fi
+for key in '"sched.cluster.publish"' '"sched.cluster.publish_errors"' \
+           '"sched.cluster.list_errors"' '"sched.cluster.stale_digests"' \
+           '"sched.cluster.shed"' '"sched.cluster.converge"' \
+           '"sched.cluster.peers"' '"sched.cluster.digest_age_ms"' \
+           '"sched.cluster.fleet_limit"'; do
+    if ! grep -q "$key" <<<"$cluster_json"; then
+        echo "metrics smoke FAILED: $key missing from loadsim -cluster metrics" >&2
+        exit 1
+    fi
+done
+if ! python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+c = m.get("counters", m)
+g = m.get("gauges", {})
+def gv(k):
+    v = g.get(k, 0)
+    return v.get("value", 0) if isinstance(v, dict) else v
+sys.exit(0 if c.get("sched.cluster.publish", 0) > 0 and gv("sched.cluster.peers") > 0 else 1)
+' <<<"$cluster_json" 2>/dev/null; then
+    echo "metrics smoke FAILED: cluster run published no digests or saw no peers" >&2
+    exit 1
+fi
 # An unloaded run admits on the fast path, so the direct-admission counter
 # must be non-zero — and those admissions must NOT flood the wait
 # histogram with zeros: its count is bounded by the queued admissions.
