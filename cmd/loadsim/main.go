@@ -11,6 +11,7 @@
 //	        [-rows 100000] [-trace] [-metrics text|json]
 //	        [-outage start:dur] [-resilient] [-timeout 2s]
 //	        [-arrival 0] [-think 0] [-sched] [-cluster 0]
+//	        [-restart node:at:dur[,...]] [-drainfirst]
 //
 // With -outage, the backend is reached through a chaos proxy that goes
 // dark (black-holed connections, active relays cut) at `start` into each
@@ -34,6 +35,20 @@
 // and advisory pressure, and -metrics dumps include the sched.cluster.*
 // series the coordinator publishes.
 //
+// With -cluster, -restart node:at:dur scripts a rolling restart: the
+// named node goes down before round `at` and comes back `dur` rounds
+// later (comma-separate specs to restart several nodes). Each user then
+// also keeps a sticky dashboard session open across rounds, so the
+// restart's blast radius is visible: the balancer blames the dead node's
+// transport errors into ejection, routes new dispatch around it, and
+// re-admits it only after a successful health probe. Add -drainfirst to
+// take nodes down gracefully instead — the node drains first (new
+// sessions refused, queued work shed with reason "draining", the
+// draining bit published to peers over the digest bus), holds one round
+// for stragglers, then goes down; sticky sessions get transparent
+// failover, so the same restart completes without user-visible session
+// errors.
+//
 // -users is the number of distinct simulated users; -sessions is the
 // total number of dashboard sessions, distributed round-robin across the
 // users (0 = one session per user). With -sched, the admission
@@ -52,6 +67,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -87,6 +103,8 @@ func main() {
 	think := flag.Duration("think", 0, "user think time between interactions")
 	schedOn := flag.Bool("sched", false, "enable admission control (priority classes, bounded queues, load shedding)")
 	clusterN := flag.Int("cluster", 0, "run N in-process Data Server nodes with cross-node admission coordination (fleet mode; most single-process flags don't apply)")
+	restartFlag := flag.String("restart", "", "fleet mode: rolling-restart spec node:at:dur[,node:at:dur...] — node goes down before round at, back dur rounds later")
+	drainFirst := flag.Bool("drainfirst", false, "fleet mode: drain each -restart node (shedding queued work as \"draining\") before taking it down, and give user sessions transparent failover")
 	flag.Parse()
 	if *metrics != "" && *metrics != "text" && *metrics != "json" {
 		log.Fatalf("loadsim: -metrics must be text or json, got %q", *metrics)
@@ -98,8 +116,20 @@ func main() {
 	if sessions <= 0 {
 		sessions = *users
 	}
+	restarts, err := parseRestarts(*restartFlag)
+	if err != nil {
+		log.Fatalf("loadsim: %v", err)
+	}
+	if (len(restarts) > 0 || *drainFirst) && *clusterN <= 1 {
+		log.Fatal("loadsim: -restart and -drainfirst require -cluster N (N >= 2)")
+	}
 	if *clusterN > 1 {
-		if err := runCluster(*clusterN, *users, 2+*interactions, *rows, *latency, *seed); err != nil {
+		for _, rs := range restarts {
+			if rs.node >= *clusterN {
+				log.Fatalf("loadsim: -restart names node %d but the fleet has %d nodes", rs.node, *clusterN)
+			}
+		}
+		if err := runCluster(*clusterN, *users, 2+*interactions, *rows, *latency, *seed, restarts, *drainFirst); err != nil {
 			log.Fatal(err)
 		}
 		if err := dumpMetrics(*metrics); err != nil {
@@ -345,6 +375,40 @@ func dumpMetrics(kind string) error {
 	return nil
 }
 
+// restartSpec schedules one node's restart in fleet mode: the node goes
+// down before round `at` (after its drain round, with -drainfirst) and
+// comes back before round `at+dur`.
+type restartSpec struct {
+	node, at, dur int
+}
+
+// parseRestarts parses -restart's node:at:dur[,node:at:dur...] syntax.
+func parseRestarts(spec string) ([]restartSpec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []restartSpec
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("-restart must be node:at:dur (e.g. 0:1:2), got %q", part)
+		}
+		var rs restartSpec
+		for i, dst := range []*int{&rs.node, &rs.at, &rs.dur} {
+			n, err := strconv.Atoi(fields[i])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("-restart %q: %q is not a non-negative integer", part, fields[i])
+			}
+			*dst = n
+		}
+		if rs.dur == 0 {
+			return nil, fmt.Errorf("-restart %q: dur must be at least 1 round", part)
+		}
+		out = append(out, rs)
+	}
+	return out, nil
+}
+
 // runCluster drives fleet mode: `nodes` in-process Data Servers publish
 // load digests through a shared kvstore and blend peer pressure into
 // admission, while the balancer steers dispatch around hot nodes. Each
@@ -352,7 +416,13 @@ func dumpMetrics(kind string) error {
 // its queues) and every simulated user dispatches through the balancer;
 // between rounds the harness ticks the fake digest clock so coordination
 // state — and the sched.cluster.* metrics — advance deterministically.
-func runCluster(nodes, users, rounds, rows int, latency time.Duration, seed int64) error {
+//
+// With restarts, each user also holds a sticky dashboard session across
+// rounds and the scripted nodes go down and come back (see -restart);
+// after every round each node is offered one half-open health probe, so
+// a killed node is ejected by blame and re-admitted only once a probe
+// succeeds against its restarted backend.
+func runCluster(nodes, users, rounds, rows int, latency time.Duration, seed int64, restarts []restartSpec, drainFirst bool) error {
 	if rows > 20_000 {
 		rows = 20_000 // fleet mode measures admission, not scan throughput
 	}
@@ -396,7 +466,47 @@ func runCluster(nodes, users, rounds, rows int, latency time.Duration, seed int6
 		return clustertest.DistinctQuery(int(q))
 	}
 
+	// With -restart, every user keeps one sticky dashboard session open
+	// across rounds (round-robin over nodes); -drainfirst gives them
+	// transparent failover.
+	var sessions []*clustertest.Session
+	if len(restarts) > 0 {
+		for u := 0; u < users; u++ {
+			s, err := cl.NewSession(fmt.Sprintf("sess-user-%d", u), u%nodes, drainFirst)
+			if err != nil {
+				return err
+			}
+			defer s.Close()
+			sessions = append(sessions, s)
+		}
+	}
+	var sessOK, sessErr int
+
 	for r := 0; r < rounds; r++ {
+		for _, rs := range restarts {
+			downAt := rs.at
+			if drainFirst {
+				// Graceful shutdown: drain one round ahead of the kill, so
+				// stragglers that raced the digest shed fast with reason
+				// "draining" instead of queueing into a dying node.
+				downAt = rs.at + 1
+				if r == rs.at {
+					dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+					if err := cl.DrainNode(dctx, rs.node); err != nil {
+						fmt.Printf("  drain node-%d: %v\n", rs.node, err)
+					}
+					cancel()
+					cl.Tick() // the draining bit reaches every balancer pre-round
+				}
+			}
+			if r == downAt && r < rs.at+rs.dur {
+				cl.KillNode(rs.node)
+			}
+			if r == rs.at+rs.dur {
+				cl.RestartNode(rs.node)
+			}
+		}
+
 		var wg sync.WaitGroup
 		// The hot user bursts 8 sticky queries at node 0: two run, four
 		// queue at its user cap, the rest shed — so node 0's digest
@@ -420,8 +530,30 @@ func runCluster(nodes, users, rounds, rows int, latency time.Duration, seed int6
 				record(err, false)
 			}(u)
 		}
+		// Sticky sessions render once per round, riding out any restart.
+		for _, s := range sessions {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if err := s.Query(ctx, next()); err != nil {
+				sessErr++
+			} else {
+				sessOK++
+			}
+			cancel()
+		}
 		wg.Wait()
 		cl.Tick()
+		if len(restarts) > 0 {
+			// Offer each node a half-open probe: a no-op unless the node is
+			// ejected and past its cooldown, so only restarted backends get
+			// re-admitted.
+			for i := 0; i < nodes; i++ {
+				cl.ProbeNode(i)
+			}
+		}
+	}
+	// Bring back anything scripted to outlive the run.
+	for _, rs := range restarts {
+		cl.RestartNode(rs.node)
 	}
 
 	fmt.Printf("cluster mode  nodes=%d users=%d rounds=%d latency=%v\n", nodes, users, rounds, latency)
@@ -429,9 +561,25 @@ func runCluster(nodes, users, rounds, rows int, latency time.Duration, seed int6
 		ok, shed, failed, hotOK, hotShed)
 	for i := 0; i < nodes; i++ {
 		st := cl.Scheduler(i).Stats()
-		fmt.Printf("  node-%d  admitted=%d/%d (%d direct) shed=%d (%d cluster) limit=%d peers=%d pressure=%.2f\n",
+		fmt.Printf("  node-%d  admitted=%d/%d (%d direct) shed=%d (%d cluster) limit=%d peers=%d pressure=%.2f state=%s\n",
 			i, st.AdmittedInteractive, st.AdmittedBackground, st.AdmittedDirect,
-			st.Shed, st.ShedClusterPressure, st.Limit, st.ClusterPeers, cl.Balancer.Pressure(i))
+			st.Shed, st.ShedClusterPressure, st.Limit, st.ClusterPeers, cl.Balancer.Pressure(i),
+			cl.Balancer.State(i))
+	}
+	if len(restarts) > 0 {
+		moves := 0
+		for _, s := range sessions {
+			moves += s.Moves()
+		}
+		var drainSheds int64
+		for i := 0; i < nodes; i++ {
+			drainSheds += cl.Scheduler(i).Stats().ShedDraining
+		}
+		fmt.Printf("  sessions  ok=%d errors=%d moves=%d (drainfirst=%v)\n", sessOK, sessErr, moves, drainFirst)
+		fmt.Printf("  lifecycle ejects=%d probes=%d (failed=%d) readmits=%d drainSheds=%d\n",
+			obs.C("balancer.health.eject").Value(), obs.C("balancer.health.probe").Value(),
+			obs.C("balancer.health.probe_fail").Value(), obs.C("balancer.health.readmit").Value(),
+			drainSheds)
 	}
 	fmt.Println()
 	return nil

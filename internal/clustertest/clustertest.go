@@ -82,6 +82,11 @@ type Config struct {
 	// BusTimeout bounds each coordination-bus round trip in real time
 	// (default 500ms) so partitioned links fail fast.
 	BusTimeout time.Duration
+	// Health tunes the balancer's node health tracking. Zero fields take
+	// harness defaults — SuspectAfter 1, EjectAfter 2, ProbeAfter one
+	// Interval — and the Clock is always the harness's fake clock so
+	// probe cooldowns advance only on Tick/Advance.
+	Health connection.HealthConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +119,12 @@ type Node struct {
 	Name    string
 	DS      *dataserver.Server
 	Backend *remote.Server
+	// BackendProxy sits between the node and its backend TDE server; the
+	// node's Data Server pool AND the balancer's pool for this node both
+	// dial through it, so faulting it is "the node crashed" from every
+	// observer's point of view — while the listener itself stays bound,
+	// keeping kill/restart deterministic (no port-rebinding races).
+	BackendProxy *chaos.Proxy
 	// KVProxy sits between this node's bus client and the kvstore;
 	// partitioning this node means faulting this proxy.
 	KVProxy *chaos.Proxy
@@ -183,9 +194,16 @@ func New(cfg Config) (*Cluster, error) {
 			cl.Close()
 			return nil, err
 		}
+		bproxy, err := chaos.New(backend.Addr(), nil)
+		if err != nil {
+			backend.Close()
+			cl.Close()
+			return nil, err
+		}
 		proxy, err := chaos.New(kvSrv.Addr(), nil)
 		if err != nil {
 			backend.Close()
+			bproxy.Close()
 			cl.Close()
 			return nil, err
 		}
@@ -203,30 +221,44 @@ func New(cfg Config) (*Cluster, error) {
 		})
 		if err := ds.Publish(&dataserver.PublishedSource{
 			Name:               cfg.Source,
-			Backend:            backend.Addr(),
+			Backend:            bproxy.Addr(),
 			View:               query.View{Table: "flights"},
 			MaxPoolConnections: cfg.PoolMax,
 		}); err != nil {
 			backend.Close()
+			bproxy.Close()
 			proxy.Close()
 			cl.Close()
 			return nil, err
 		}
 		cl.Nodes = append(cl.Nodes, &Node{
-			Name:    name,
-			DS:      ds,
-			Backend: backend,
-			KVProxy: proxy,
-			Bus:     bus,
-			conns:   make(map[string]*dataserver.ClientConn),
+			Name:         name,
+			DS:           ds,
+			Backend:      backend,
+			BackendProxy: bproxy,
+			KVProxy:      proxy,
+			Bus:          bus,
+			conns:        make(map[string]*dataserver.ClientConn),
 		})
-		pools = append(pools, connection.NewPool(backend.Addr(), connection.PoolConfig{Max: cfg.PoolMax}))
+		pools = append(pools, connection.NewPool(bproxy.Addr(), connection.PoolConfig{Max: cfg.PoolMax}))
 	}
 	b, err := connection.NewBalancerFromPools(pools)
 	if err != nil {
 		cl.Close()
 		return nil, err
 	}
+	hc := cfg.Health
+	if hc.SuspectAfter == 0 {
+		hc.SuspectAfter = 1
+	}
+	if hc.EjectAfter == 0 {
+		hc.EjectAfter = 2
+	}
+	if hc.ProbeAfter == 0 {
+		hc.ProbeAfter = cfg.Interval
+	}
+	hc.Clock = clock.Now
+	b.ConfigureHealth(hc)
 	cl.Balancer = b
 	return cl, nil
 }
@@ -256,8 +288,9 @@ func (cl *Cluster) Tick() {
 
 // SyncPressure pushes each node's latest self-digest into the balancer:
 // pressure is the node's shed rate or its queue depth normalized by its
-// limit, whichever is worse. A node that has never published (or whose
-// coordinator is gone) keeps its previous advisory value.
+// limit, whichever is worse, and the digest's draining bit takes the
+// node out of rotation administratively. A node that has never published
+// (or whose coordinator is gone) keeps its previous advisory values.
 func (cl *Cluster) SyncPressure() {
 	for i, n := range cl.Nodes {
 		d, ok := n.DS.Coordinator().LastDigest(cl.cfg.Source)
@@ -271,6 +304,7 @@ func (cl *Cluster) SyncPressure() {
 			}
 		}
 		cl.Balancer.SetPressure(i, p)
+		cl.Balancer.SetDraining(i, d.Draining)
 	}
 }
 
@@ -284,6 +318,44 @@ func (cl *Cluster) Partition(i int) {
 // Heal reconnects node i to the kvstore.
 func (cl *Cluster) Heal(i int) { cl.Nodes[i].KVProxy.Heal() }
 
+// KillNode crashes node i uncleanly: its backend proxy refuses new
+// connections and cuts active ones, so every in-flight and future query
+// on the node — dispatched or sticky — fails with an immediate transport
+// error until RestartNode. The Data Server process itself stays up
+// (sessions and schedulers keep their state), mirroring a backend/node
+// outage rather than a clean shutdown.
+func (cl *Cluster) KillNode(i int) {
+	cl.Nodes[i].BackendProxy.SetMode(chaos.Fault{Kind: chaos.Refuse})
+	cl.Nodes[i].BackendProxy.KillActive()
+}
+
+// RestartNode brings a killed node back: the backend proxy heals and any
+// leftover drain state clears. Re-admission to the balancer's rotation
+// still requires a successful health probe (ProbeNode or the background
+// prober) — restart makes the node reachable, not trusted.
+func (cl *Cluster) RestartNode(i int) {
+	cl.Nodes[i].BackendProxy.Heal()
+	cl.Nodes[i].DS.Undrain()
+}
+
+// DrainNode gracefully drains node i inside ctx's deadline: new sessions
+// refused, queued admissions shed with reason "draining", in-flight work
+// waited out. The draining bit reaches peers' balancers on the next Tick.
+func (cl *Cluster) DrainNode(ctx context.Context, i int) error {
+	return cl.Nodes[i].DS.Drain(ctx)
+}
+
+// UndrainNode puts a drained node back in rotation (the cleared bit
+// rides the next Tick).
+func (cl *Cluster) UndrainNode(i int) { cl.Nodes[i].DS.Undrain() }
+
+// ProbeNode offers node i one half-open health probe (no-op unless the
+// node is ejected and past its cooldown on the fake clock). Returns
+// whether a probe ran.
+func (cl *Cluster) ProbeNode(i int) bool {
+	return cl.Balancer.MaybeProbe(context.Background(), i)
+}
+
 // Dispatch routes one query through the balancer: the least-loaded
 // non-pressured node is picked and the query runs on that node's client
 // connection for user. Returns the chosen node index alongside the
@@ -295,7 +367,18 @@ func (cl *Cluster) Dispatch(ctx context.Context, user string, q *query.Query) (i
 		return idx, err
 	}
 	_, err = conn.Query(ctx, q)
+	cl.report(ctx, idx, err)
 	return idx, err
+}
+
+// report feeds one query outcome into balancer health tracking, skipping
+// transport failures attributable to the caller's own context (they say
+// nothing about the node).
+func (cl *Cluster) report(ctx context.Context, idx int, err error) {
+	if err != nil && connection.IsTransport(err) && !connection.Blameworthy(ctx, err) {
+		return
+	}
+	cl.Balancer.ReportResult(idx, err)
 }
 
 // QueryOn runs one query for user directly against node idx, bypassing
@@ -308,6 +391,7 @@ func (cl *Cluster) QueryOn(ctx context.Context, idx int, user string, q *query.Q
 		return err
 	}
 	_, err = conn.Query(ctx, q)
+	cl.report(ctx, idx, err)
 	return err
 }
 
@@ -334,6 +418,7 @@ func (cl *Cluster) Close() {
 		n.DS.Unpublish(cl.cfg.Source)
 		_ = n.Bus.Close()
 		n.KVProxy.Close()
+		n.BackendProxy.Close()
 		n.Backend.Close()
 	}
 	if cl.Balancer != nil {

@@ -2,11 +2,14 @@ package connection
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sync"
 	"sync/atomic"
 
+	"vizq/internal/remote"
 	"vizq/internal/tde/exec"
 )
 
@@ -23,6 +26,12 @@ import (
 // toward calm nodes *before* queries queue behind a hot one. Pressure is
 // advisory — with every node equally pressured (or none reporting), the
 // balancer degrades to plain least-loaded round-robin.
+//
+// On top of the load score sits node health (health.go): ejected and
+// draining nodes are excluded from PickIndex entirely, suspect and probing
+// nodes pay a score penalty, and if no node is routable the balancer falls
+// back to scoring all of them so the fleet never goes dark by its own
+// bookkeeping.
 type Balancer struct {
 	pools []*Pool
 	next  atomic.Uint64
@@ -30,6 +39,14 @@ type Balancer struct {
 	// pressure (≥ 0), stored atomically so digest readers update it
 	// without blocking dispatch.
 	pressure []atomic.Uint64
+
+	health *healthTracker
+
+	probeMu   sync.Mutex
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
+
+	closeOnce sync.Once
 }
 
 // NewBalancer builds a balancer over node addresses, one pool per node.
@@ -50,7 +67,11 @@ func NewBalancerFromPools(pools []*Pool) (*Balancer, error) {
 	if len(pools) == 0 {
 		return nil, fmt.Errorf("connection: balancer needs at least one node")
 	}
-	return &Balancer{pools: pools, pressure: make([]atomic.Uint64, len(pools))}, nil
+	return &Balancer{
+		pools:    pools,
+		pressure: make([]atomic.Uint64, len(pools)),
+		health:   newHealthTracker(len(pools), HealthConfig{}),
+	}, nil
 }
 
 // SetPressure records node i's advisory shed pressure (typically the
@@ -76,23 +97,73 @@ func (b *Balancer) Pressure(i int) float64 {
 
 // score is node i's dispatch cost: live connections plus pressure scaled
 // by the pool's capacity, so a fully-pressured node (pressure 1.0) costs
-// as much as one whose every connection slot is busy.
+// as much as one whose every connection slot is busy. Suspect and probing
+// nodes pay an extra capacity-scaled penalty so traffic prefers nodes
+// with a clean recent record.
 func (b *Balancer) score(i int) float64 {
 	p := b.pools[i]
 	penalty := float64(p.Max())
 	if penalty < 1 {
 		penalty = 1
 	}
-	return float64(p.Live()) + b.Pressure(i)*penalty
+	s := float64(p.Live()) + b.Pressure(i)*penalty
+	switch b.State(i) {
+	case NodeSuspect, NodeProbing:
+		s += b.health.cfg.SuspectPenalty * penalty
+	}
+	return s
 }
 
-// PickIndex chooses the node for the next dispatch: lowest score wins,
-// ties resolved round-robin. The rotation counter is kept unsigned all
-// the way to the modulo — converting it through int first turns negative
-// once the counter passes MaxInt64 and indexes out of bounds.
+// PickIndex chooses the node for the next dispatch: lowest score among
+// routable (not ejected, not draining) nodes wins, ties resolved
+// round-robin. If no node is routable the pick falls back to scoring all
+// nodes — the never-all-ejected invariant (see health.go). The rotation
+// counter is kept unsigned all the way to the modulo — converting it
+// through int first turns negative once the counter passes MaxInt64 and
+// indexes out of bounds.
 func (b *Balancer) PickIndex() int {
+	return b.pickExcluding(-1)
+}
+
+// PickIndexExcluding chooses a routable node other than skip, for the
+// retry and failover paths. It returns -1 when no other node is routable
+// — unlike PickIndex it does NOT fall back to unroutable nodes, because
+// its callers already hold a (failing) node and a retry against another
+// known-bad node only burns the user's deadline.
+func (b *Balancer) PickIndexExcluding(skip int) int {
+	if len(b.pools) == 1 {
+		return -1
+	}
+	return b.bestRoutable(b.next.Add(1), skip)
+}
+
+// bestRoutable scans all nodes from start, returning the lowest-scored
+// routable node that is not skip, or -1 if none qualifies.
+func (b *Balancer) bestRoutable(start uint64, skip int) int {
+	n := uint64(len(b.pools))
+	best := math.Inf(1)
+	bestIdx := -1
+	for i := uint64(0); i < n; i++ {
+		idx := int((start + i) % n)
+		if idx == skip || !b.Routable(idx) {
+			continue
+		}
+		if s := b.score(idx); s < best {
+			best, bestIdx = s, idx
+		}
+	}
+	return bestIdx
+}
+
+// pickExcluding is PickIndex with an optional node to skip (-1 = none).
+func (b *Balancer) pickExcluding(skip int) int {
 	start := b.next.Add(1)
 	n := uint64(len(b.pools))
+	if bestIdx := b.bestRoutable(start, skip); bestIdx >= 0 {
+		return bestIdx
+	}
+	// Never-all-ejected: every node is ejected or draining (or the only
+	// node was skipped), so fall back to plain scoring over all of them.
 	bestIdx := int(start % n)
 	best := b.score(bestIdx)
 	for i := uint64(1); i < n; i++ {
@@ -107,23 +178,101 @@ func (b *Balancer) PickIndex() int {
 // pick chooses the next pool to dispatch to.
 func (b *Balancer) pick() *Pool { return b.pools[b.PickIndex()] }
 
-// Query dispatches one query to a node.
+// Blameworthy reports whether a dispatch error should count against the
+// node that produced it: a transport-classified failure that is not
+// attributable to the caller. Caller cancellations and deadline timeouts
+// are excluded — IsTransport classifies them as transport, but the conn
+// deadline is set *from* the caller's context, so a timeout says "the
+// caller ran out of patience", not "the node is down". (The conn
+// deadline and the context timer race by microseconds, so checking
+// ctx.Err() alone misattributes timeouts that land first.) Node death in
+// this system manifests as refused/reset/EOF, which stay blameworthy.
+func Blameworthy(ctx context.Context, err error) bool {
+	if err == nil || !IsTransport(err) || ctx.Err() != nil {
+		return false
+	}
+	return !errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, os.ErrDeadlineExceeded)
+}
+
+// Query dispatches one query to a node, feeding the outcome into health
+// tracking. On a blameworthy transport error it retries once on a
+// different routable node — a single node crashing mid-dispatch should
+// cost one internal retry, not a user-visible error. Failures
+// attributable to the caller (cancel, deadline) neither count against
+// the node nor trigger the retry.
 func (b *Balancer) Query(ctx context.Context, tql string) (*exec.Result, error) {
-	return b.pick().Query(ctx, tql)
+	i := b.PickIndex()
+	res, err := b.pools[i].Query(ctx, tql)
+	if err == nil || !IsTransport(err) {
+		b.ReportResult(i, err)
+		return res, err
+	}
+	if !Blameworthy(ctx, err) {
+		return res, err
+	}
+	b.ReportResult(i, err)
+	j := b.PickIndexExcluding(i)
+	if j < 0 {
+		return res, err
+	}
+	cHealthRetry.Inc()
+	res, err = b.pools[j].Query(ctx, tql)
+	if err == nil || !IsTransport(err) || Blameworthy(ctx, err) {
+		b.ReportResult(j, err)
+	}
+	return res, err
 }
 
 // Nodes returns the per-node pools (for stats).
 func (b *Balancer) Nodes() []*Pool { return b.pools }
 
-// Close shuts every node pool.
+// Close stops the background prober and shuts every node pool. It is
+// idempotent and safe to call concurrently with dispatch: PickIndex on a
+// closed balancer still returns a valid index (the pool then reports
+// ErrPoolClosed).
 func (b *Balancer) Close() {
-	var wg sync.WaitGroup
-	for _, p := range b.pools {
-		wg.Add(1)
-		go func(p *Pool) {
-			defer wg.Done()
-			p.Close()
-		}(p)
+	b.closeOnce.Do(func() {
+		b.StopProbes()
+		var wg sync.WaitGroup
+		for _, p := range b.pools {
+			wg.Add(1)
+			go func(p *Pool) {
+				defer wg.Done()
+				p.Close()
+			}(p)
+		}
+		wg.Wait()
+	})
+}
+
+// pingNode dials a fresh connection to addr and pings it, bounded by ctx.
+// Used by health probes so they never consume a pool slot.
+func pingNode(ctx context.Context, addr string) error {
+	type dialRes struct {
+		c   *remote.Conn
+		err error
 	}
-	wg.Wait()
+	ch := make(chan dialRes, 1)
+	go func() {
+		c, err := remote.Dial(addr)
+		ch <- dialRes{c, err}
+	}()
+	select {
+	case <-ctx.Done():
+		// Abandon the dial; if it lands, close the connection.
+		go func() {
+			if r := <-ch; r.c != nil {
+				r.c.Close()
+			}
+		}()
+		return ctx.Err()
+	case r := <-ch:
+		if r.err != nil {
+			return r.err
+		}
+		defer r.c.Close()
+		return r.c.Ping(ctx)
+	}
 }

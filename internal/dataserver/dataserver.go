@@ -121,6 +121,7 @@ type Server struct {
 	coord *sched.Coordinator
 
 	mu       sync.Mutex
+	draining bool // refusing new sessions (see Drain)
 	sources  map[string]*PublishedSource
 	procs    map[string]*core.Processor
 	pools    map[string]*connection.Pool
@@ -301,6 +302,9 @@ type ClientConn struct {
 func (s *Server) Connect(sourceName, user string) (*ClientConn, *Metadata, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		return nil, nil, fmt.Errorf("dataserver: connect refused: %w", ErrDraining)
+	}
 	key := strings.ToLower(sourceName)
 	src, ok := s.sources[key]
 	if !ok {

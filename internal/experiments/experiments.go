@@ -128,6 +128,7 @@ func All() []Runner {
 		{"E11", "admission control under overload", E11AdmissionControl},
 		{"E12", "per-user fairness under a greedy user", E12UserFairness},
 		{"E13", "cross-node admission coordination", E13ClusterCoordination},
+		{"E14", "rolling restart with drain and failover", E14RollingRestart},
 	}
 }
 

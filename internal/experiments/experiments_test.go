@@ -204,6 +204,34 @@ func TestAllExperimentsRun(t *testing.T) {
 	if sp := atoiCell(t, e13.Rows[5][6]); sp > 1 {
 		t.Errorf("E13: coordinated limit spread = %d, want <= 1", sp)
 	}
+
+	// E14: an abrupt rolling restart must surface user-visible errors;
+	// drain+failover must complete the same restart with zero, with real
+	// renders, session moves, and fast "draining" sheds for stragglers.
+	// The lifecycle rows pin ejection and probe-only re-admission.
+	e14 := tables["E14"]
+	abrupt, graceful := e14.Rows[0], e14.Rows[1]
+	if atoiCell(t, abrupt[1]) == 0 {
+		t.Error("E14: abrupt rolling restart surfaced no user-visible errors")
+	}
+	if n := atoiCell(t, graceful[1]); n != 0 {
+		t.Errorf("E14: drain+failover restart surfaced %d user errors, want 0", n)
+	}
+	if atoiCell(t, abrupt[2]) == 0 || atoiCell(t, graceful[2]) == 0 {
+		t.Error("E14: a restart arm completed no renders")
+	}
+	if atoiCell(t, graceful[3]) == 0 {
+		t.Error("E14: no session failed over during the graceful restart")
+	}
+	if atoiCell(t, graceful[4]) == 0 {
+		t.Error("E14: no straggler was shed with reason draining")
+	}
+	if e14.Rows[2][5] != "ejected" {
+		t.Errorf("E14: post-kill state = %s, want ejected", e14.Rows[2][5])
+	}
+	if e14.Rows[3][5] != "healthy" {
+		t.Errorf("E14: post-probe state = %s, want healthy", e14.Rows[3][5])
+	}
 }
 
 func atoiCell(t *testing.T, s string) int {
@@ -249,7 +277,7 @@ func TestScalePresets(t *testing.T) {
 	if TestScale().Rows >= FullScale().Rows {
 		t.Error("test scale should be smaller")
 	}
-	if len(All()) != 13 {
-		t.Errorf("experiments = %d, want 13", len(All()))
+	if len(All()) != 14 {
+		t.Errorf("experiments = %d, want 14", len(All()))
 	}
 }

@@ -40,6 +40,8 @@ const (
 	SpanRetry       = "resilience.retry"   // one retried attempt (attempt >= 2) incl. its backoff
 	SpanBreaker     = "resilience.breaker" // a circuit-breaker fast-fail (near-zero duration by design)
 	SpanSchedAdmit  = "sched.admit"        // admission control: direct admit, queue wait, or shed
+	SpanHealthProbe = "balancer.probe"     // one half-open health probe against an ejected node
+	SpanDrain       = "ds.drain"           // one graceful Data Server drain (quiesce + shed)
 )
 
 // Tracer collects finished root spans for one traced unit of work (a

@@ -75,6 +75,9 @@ type Digest struct {
 	ShedRate      float64 // sheds / (sheds + admissions) over the last publish interval
 	ShedTotal     int64   // cumulative, for cross-node consistency accounting
 	AdmittedTotal int64
+	// Draining advertises a graceful drain in progress: peers' balancers
+	// stop steering sessions here before the node goes away.
+	Draining bool
 }
 
 // pressured reports whether the digest advertises shed pressure: the
@@ -87,7 +90,11 @@ func (d Digest) pressured(shedRate float64) bool {
 
 // digestVersion guards the wire codec; unknown versions are rejected so
 // a mixed-version fleet degrades to local-only instead of misreading.
-const digestVersion = 1
+// v2 appended the flags byte (bit 0: draining).
+const digestVersion = 2
+
+// digestFlagDraining is bit 0 of the trailing flags byte.
+const digestFlagDraining = 1 << 0
 
 // Encode serializes the digest (version byte, length-prefixed strings,
 // little-endian fixed-width numbers).
@@ -105,6 +112,11 @@ func (d Digest) Encode() []byte {
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(d.ShedRate))
 	out = binary.LittleEndian.AppendUint64(out, uint64(d.ShedTotal))
 	out = binary.LittleEndian.AppendUint64(out, uint64(d.AdmittedTotal))
+	var flags byte
+	if d.Draining {
+		flags |= digestFlagDraining
+	}
+	out = append(out, flags)
 	return out
 }
 
@@ -205,6 +217,10 @@ func DecodeDigest(b []byte) (Digest, error) {
 		return d, err
 	}
 	d.AdmittedTotal = int64(adm)
+	if len(b) < 1 {
+		return d, errors.New("sched: torn digest")
+	}
+	d.Draining = b[0]&digestFlagDraining != 0
 	return d, nil
 }
 
@@ -376,6 +392,7 @@ func (c *Coordinator) stepSource(name string, now time.Time) {
 		ShedRate:      rate,
 		ShedTotal:     st.Shed,
 		AdmittedTotal: admitted,
+		Draining:      st.Draining,
 	}
 	src.lastSelf = self
 	sched := src.sched

@@ -49,6 +49,7 @@ var (
 	cAdmitDirect = obs.C("sched.admitted.direct")
 	cShed        = obs.C("sched.shed")
 	cShedFull    = obs.C("sched.shed.queue_full")
+	cShedDrain   = obs.C("sched.shed.draining")
 	cShedUser    = obs.C("sched.user.shed.queue_full")
 	cQueued      = obs.C("sched.queued")
 	cCanceled    = obs.C("sched.canceled")
@@ -165,7 +166,7 @@ var ErrShed = errors.New("sched: load shed")
 
 // ShedError carries why a query was shed and what the scheduler estimated.
 type ShedError struct {
-	Reason  string        // "deadline" or "queue-full"
+	Reason  string        // "deadline", "queue-full", "cluster-pressure" or "draining"
 	EstWait time.Duration // estimated queue wait at rejection time
 	Budget  time.Duration // remaining context budget (0 when none)
 }
@@ -312,6 +313,13 @@ type Stats struct {
 	// this node still had queue room, but the source was shedding on a
 	// majority of nodes.
 	ShedClusterPressure int64
+	// ShedDraining counts sheds caused by a graceful drain: arrivals
+	// refused while draining plus queued waiters flushed when the drain
+	// began. Stale-on-shed still applies to them downstream.
+	ShedDraining int64
+	// Draining reports whether the scheduler is refusing new admissions;
+	// it is advertised in cluster digests so peers stop steering here.
+	Draining bool
 	// EWMAWait is the smoothed queue wait published in cluster digests.
 	EWMAWait time.Duration
 	// ClusterPeers is the number of fresh peer digests currently blended
@@ -326,7 +334,8 @@ type Stats struct {
 type waiter struct {
 	class   Class
 	ready   chan struct{}
-	granted bool // guarded by Scheduler.mu
+	granted bool       // guarded by Scheduler.mu
+	shed    *ShedError // set (before ready closes) when flushed by a drain
 }
 
 // sessionQueue is one session's FIFO of waiters within a user.
@@ -377,6 +386,12 @@ type Scheduler struct {
 	// ewmaWaitNS smooths observed queue waits for the cluster digest.
 	ewmaWaitNS float64
 
+	// draining refuses new admissions (graceful drain); quiesce is a
+	// lazily-created broadcast channel closed when inflight and waiting
+	// both reach zero, for Quiesce waiters.
+	draining bool
+	quiesce  chan struct{}
+
 	// Cluster advisory state, refreshed by ObservePeers. It expires
 	// clusterHold after the last refresh (wall clock): a dead coordinator
 	// or unreachable bus must decay the fleet's influence back to
@@ -413,6 +428,7 @@ func (s *Scheduler) Stats() Stats {
 	st.Limit = s.limit
 	st.EWMAService = time.Duration(s.ewmaNS)
 	st.EWMAWait = time.Duration(s.ewmaWaitNS)
+	st.Draining = s.draining
 	if s.clusterFreshLocked(time.Now()) {
 		st.ClusterPeers = s.peerCount
 		st.ClusterShedActive = s.clusterShed
@@ -482,6 +498,19 @@ func (s *Scheduler) Admit(ctx context.Context) (*Ticket, error) {
 	start := time.Now()
 
 	s.mu.Lock()
+	// A draining scheduler admits nothing: the node is about to go away,
+	// so the query belongs on a peer (the balancer sees the draining bit
+	// via the digest) or a stale cache entry (ErrShed-wrapping errors get
+	// degraded reads downstream).
+	if s.draining {
+		s.stats.Shed++
+		s.stats.ShedDraining++
+		s.mu.Unlock()
+		cShed.Inc()
+		cShedDrain.Inc()
+		sp.Annotate("via", "shed-draining")
+		return nil, &ShedError{Reason: "draining"}
+	}
 	// Fast path: capacity free and nobody of same-or-higher priority
 	// waiting (admitting past waiters would reorder the fair queue).
 	// Direct admissions have no queue wait by definition: they are
@@ -564,6 +593,13 @@ func (s *Scheduler) Admit(ctx context.Context) (*Ticket, error) {
 
 	select {
 	case <-w.ready:
+		if w.shed != nil {
+			// The drain flushed this waiter: ready closed with a shed
+			// verdict instead of a grant (shed stats were counted by the
+			// flush; the close of w.ready orders the write of w.shed).
+			sp.Annotate("via", "shed-draining")
+			return nil, w.shed
+		}
 		wait := time.Since(start)
 		mWaitNS.ObserveDuration(wait)
 		s.mu.Lock()
@@ -572,6 +608,13 @@ func (s *Scheduler) Admit(ctx context.Context) (*Ticket, error) {
 		return &Ticket{s: s, start: time.Now()}, nil
 	case <-ctx.Done():
 		s.mu.Lock()
+		if w.shed != nil {
+			// The drain flush raced the cancellation; the waiter already
+			// left the queue and was counted as shed.
+			s.mu.Unlock()
+			sp.Annotate("via", "shed-draining")
+			return nil, w.shed
+		}
 		if w.granted {
 			// The grant raced the cancellation: the slot is ours and must
 			// go back, but the query never ran — it counts as a
@@ -583,10 +626,101 @@ func (s *Scheduler) Admit(ctx context.Context) (*Ticket, error) {
 		}
 		s.removeLocked(class, user, sess, w)
 		s.stats.Canceled++
+		s.notifyQuiesceLocked()
 		s.mu.Unlock()
 		cCanceled.Inc()
 		sp.Annotate("via", "canceled")
 		return nil, ctx.Err()
+	}
+}
+
+// SetDraining toggles drain mode. Turning it on flushes every queued
+// waiter with a ShedError reason "draining" (they would otherwise wait
+// on capacity this node intends to give up) and makes every subsequent
+// Admit shed the same way; in-flight work keeps its slots — drain bounds
+// *new* work, Quiesce waits out the old. Turning it off resumes normal
+// admission. Nil-safe.
+func (s *Scheduler) SetDraining(on bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.draining == on {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = on
+	var flushed []*waiter
+	if on {
+		// nextLocked maintains every queue invariant (counts, rings,
+		// gauges), so draining through it flushes in fair order.
+		for {
+			w := s.nextLocked()
+			if w == nil {
+				break
+			}
+			w.shed = &ShedError{Reason: "draining"}
+			flushed = append(flushed, w)
+			s.stats.Shed++
+			s.stats.ShedDraining++
+		}
+		s.notifyQuiesceLocked()
+	}
+	s.mu.Unlock()
+	for _, w := range flushed {
+		close(w.ready)
+	}
+	cShed.Add(int64(len(flushed)))
+	cShedDrain.Add(int64(len(flushed)))
+}
+
+// Draining reports whether the scheduler is refusing new admissions.
+// Nil-safe.
+func (s *Scheduler) Draining() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Quiesce blocks until the scheduler holds no work — nothing in flight
+// and nothing queued — or ctx expires. It is the drain deadline's wait
+// primitive: call SetDraining(true) first so the waiting count only
+// falls. Nil-safe.
+func (s *Scheduler) Quiesce(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	for {
+		s.mu.Lock()
+		if s.inflight == 0 && s.waiting == 0 {
+			s.mu.Unlock()
+			return nil
+		}
+		if s.quiesce == nil {
+			s.quiesce = make(chan struct{})
+		}
+		ch := s.quiesce
+		s.mu.Unlock()
+		select {
+		case <-ch:
+			// Re-check from the top: a grant between the notify and this
+			// wake can raise inflight again only via dispatch of queued
+			// work, which the zero check catches.
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// notifyQuiesceLocked wakes Quiesce waiters when the scheduler goes
+// idle. Callers hold s.mu.
+func (s *Scheduler) notifyQuiesceLocked() {
+	if s.quiesce != nil && s.inflight == 0 && s.waiting == 0 {
+		close(s.quiesce)
+		s.quiesce = nil
 	}
 }
 
@@ -842,6 +976,7 @@ func (s *Scheduler) finish(d time.Duration, completed bool) {
 	}
 	s.dispatchLocked()
 	gInflight.Set(int64(s.inflight))
+	s.notifyQuiesceLocked()
 	s.mu.Unlock()
 	if !completed {
 		cCanceled.Inc()

@@ -28,6 +28,9 @@ else
     go test -shuffle=on ./...
 fi
 
+echo "== cluster kill/restart smoke (clustertest lifecycle)"
+go test -run TestLifecycleKillRestartSmoke ./internal/clustertest -count=1
+
 echo "== metrics smoke (loadsim -metrics json)"
 scripts/metrics_smoke.sh
 

@@ -31,10 +31,11 @@ check() {
 
 check ./internal/remote     77.8
 check ./internal/kvstore    88.4
-check ./internal/connection 83.9
+check ./internal/connection 87.3
 check ./internal/cache      90.6
 check ./internal/resilience 91.2
-check ./internal/sched      92.6
+check ./internal/sched      93.5
+check ./internal/dataserver 90.8
 check ./cmd/vizlint         85.8
 
 exit "$fail"

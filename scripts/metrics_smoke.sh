@@ -106,4 +106,35 @@ sys.exit(0 if direct > 0 and waits <= total - direct else 1)
     echo "metrics smoke FAILED: direct admissions missing or leaking into sched.wait.ns" >&2
     exit 1
 fi
+# Node lifecycle: a scripted rolling restart with drain-first must light
+# up the whole health surface — ejection by blame, half-open probes,
+# probe-based re-admission — and shed queued work with reason "draining".
+# These series are the observable contract of the lifecycle layer; a dead
+# counter here means ops dashboards go blind during real restarts.
+restart_out="$(go run ./cmd/loadsim -cluster 3 -users 3 -interactions 3 -rows 5000 -latency 1ms -restart 0:1:2 -drainfirst -metrics json)"
+restart_json="$(awk 'f||/^\{$/{f=1;print}' <<<"$restart_out")"
+if [[ -z "$restart_json" ]]; then
+    echo "metrics smoke FAILED: no JSON object in loadsim -restart output" >&2
+    exit 1
+fi
+for key in '"balancer.health.suspect"' '"balancer.health.eject"' \
+           '"balancer.health.probe"' '"balancer.health.probe_fail"' \
+           '"balancer.health.readmit"' '"balancer.health.retries"' \
+           '"balancer.health.ejected"' '"sched.shed.draining"'; do
+    if ! grep -q "$key" <<<"$restart_json"; then
+        echo "metrics smoke FAILED: $key missing from loadsim -restart metrics" >&2
+        exit 1
+    fi
+done
+if ! python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+c = m.get("counters", m)
+need = ["balancer.health.eject", "balancer.health.probe",
+        "balancer.health.readmit", "sched.shed.draining"]
+sys.exit(0 if all(c.get(k, 0) > 0 for k in need) else 1)
+' <<<"$restart_json" 2>/dev/null; then
+    echo "metrics smoke FAILED: rolling restart left eject/probe/readmit/draining-shed counters at zero" >&2
+    exit 1
+fi
 echo "metrics smoke OK"
